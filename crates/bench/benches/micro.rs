@@ -1,0 +1,120 @@
+//! Criterion micro-benchmarks for the reproduction's hot paths.
+//!
+//! These are engineering benchmarks (how fast is the simulator), not the
+//! paper's experiments — those are the `fig5`..`fig10` binaries.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsn_core::Experiment;
+use wsn_diffusion::Scheme;
+use wsn_scenario::{generate_field, ScenarioSpec};
+use wsn_setcover::{exact_cover, greedy_cover, CoverInstance};
+use wsn_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use wsn_trees::{compare_trees, random_geometric, random_sources};
+
+/// A reproducible random cover instance with `sets` subsets over `elems`
+/// elements.
+fn random_instance(sets: usize, elems: u32, seed: u64) -> CoverInstance {
+    let mut rng = SimRng::from_seed_stream(seed, 0);
+    let mut inst = CoverInstance::new();
+    // Guarantee coverage with one big set, then add random ones.
+    inst.add_subset((0..elems).collect(), elems as f64);
+    for _ in 1..sets {
+        let k = 1 + rng.index(6.min(elems as usize));
+        let items: Vec<u32> = (0..k).map(|_| rng.below(u64::from(elems)) as u32).collect();
+        inst.add_subset(items, 0.5 + rng.f64() * 9.5);
+    }
+    inst
+}
+
+fn bench_setcover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("setcover");
+    group.measurement_time(Duration::from_secs(2));
+    for &(sets, elems) in &[(8usize, 12u32), (32, 24), (128, 48)] {
+        let inst = random_instance(sets, elems, 42);
+        group.bench_with_input(
+            BenchmarkId::new("greedy", format!("{sets}x{elems}")),
+            &inst,
+            |b, inst| b.iter(|| greedy_cover(black_box(inst))),
+        );
+    }
+    let small = random_instance(10, 14, 7);
+    group.bench_function("exact_10x14", |b| b.iter(|| exact_cover(black_box(&small))));
+    group.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut rng = SimRng::from_seed_stream(1, 0);
+            for i in 0..10_000u64 {
+                q.push(SimTime::from_nanos(rng.next_u64() % 1_000_000_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, _, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            black_box(sum)
+        })
+    });
+    group.finish();
+}
+
+fn bench_trees(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trees");
+    group.measurement_time(Duration::from_secs(3));
+    for &n in &[100usize, 350] {
+        let mut rng = SimRng::from_seed_stream(9, n as u64);
+        let (g, _) = random_geometric(n, 200.0, 40.0, &mut rng);
+        let sources = random_sources(n, 5, 0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("git_vs_spt", n), &(g, sources), |b, (g, s)| {
+            b.iter(|| compare_trees(black_box(g), 0, black_box(s)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_field_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario");
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("generate_field_350", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = SimRng::from_seed_stream(seed, 0);
+            black_box(generate_field(350, 200.0, 40.0, &mut rng))
+        })
+    });
+    group.finish();
+}
+
+fn bench_full_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_run");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(10));
+    for scheme in [Scheme::Greedy, Scheme::Opportunistic] {
+        group.bench_function(format!("100_nodes_30s_{scheme}"), |b| {
+            let mut spec = ScenarioSpec::paper(100, 5);
+            spec.duration = SimDuration::from_secs(30);
+            let inst = spec.instantiate();
+            let exp = Experiment::new(spec.clone(), scheme);
+            b.iter(|| black_box(exp.run_on(&inst)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_setcover,
+    bench_event_queue,
+    bench_trees,
+    bench_field_generation,
+    bench_full_run
+);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Regenerates every figure of the paper's evaluation (Figures 5-10).
+//! See `wsn_bench` for options.
+
+use wsn_bench::{run_and_print, HarnessOptions};
+use wsn_core::Figure;
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    for figure in Figure::ALL {
+        run_and_print(figure, &opts);
+    }
+}

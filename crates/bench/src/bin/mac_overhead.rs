@@ -1,0 +1,59 @@
+//! Ablation: how MAC-level unicast overhead changes the aggregation story.
+//!
+//! The paper's ns-2 802.11 model exchanged RTS/CTS before unicast data
+//! (ns-2's default), so every data transmission carried two extra control
+//! frames. Our reproduction defaults to plain CSMA/CA + ACK; this harness
+//! measures both MACs on identical fields to quantify how per-transmission
+//! overhead amplifies greedy aggregation's savings (the suspected cause of
+//! our Figure 10 gap being smaller than the paper's — see `EXPERIMENTS.md`).
+//!
+//! ```sh
+//! cargo run --release -p wsn-bench --bin mac_overhead [-- --fields N --duration SECS]
+//! ```
+
+use wsn_bench::HarnessOptions;
+use wsn_core::{field_seed, Experiment};
+use wsn_diffusion::Scheme;
+use wsn_metrics::{FigureTable, Summary};
+use wsn_scenario::ScenarioSpec;
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    let fields = opts.params.fields_per_point.min(6);
+    let duration = opts.params.duration;
+
+    let mut table = FigureTable::new(
+        "MAC-overhead ablation at 250 nodes — Average Dissipated Energy (J/node/event)",
+        "mac",
+        vec![
+            "greedy".into(),
+            "opportunistic".into(),
+            "ratio g/o".into(),
+        ],
+    );
+    for (mi, (label, rts_cts)) in [("csma+ack", false), ("rts/cts", true)].iter().enumerate() {
+        let mut greedy = Vec::new();
+        let mut opportunistic = Vec::new();
+        for f in 0..fields {
+            let mut spec = ScenarioSpec::paper(250, field_seed(opts.params.seed ^ 0xACC, 0, f as u64));
+            spec.duration = duration;
+            let instance = spec.instantiate();
+            for scheme in [Scheme::Greedy, Scheme::Opportunistic] {
+                let mut exp = Experiment::new(spec.clone(), scheme);
+                exp.net.rts_cts = *rts_cts;
+                let m = exp.run_on(&instance).record.metrics();
+                match scheme {
+                    Scheme::Greedy => greedy.push(m.avg_activity_energy),
+                    Scheme::Opportunistic => opportunistic.push(m.avg_activity_energy),
+                }
+            }
+        }
+        let g = Summary::of(greedy.iter().copied());
+        let o = Summary::of(opportunistic.iter().copied());
+        let ratio = if o.mean > 0.0 { g.mean / o.mean } else { 1.0 };
+        table.push_row(mi as f64, vec![g, o, Summary::of([ratio])]);
+        println!("# {label}: greedy {:.6}, opportunistic {:.6}, ratio {:.3}", g.mean, o.mean, ratio);
+    }
+    println!("\n{}", table.render_text());
+    println!("# row 0 = csma+ack (this repo's default), row 1 = rts/cts (ns-2 default)");
+}

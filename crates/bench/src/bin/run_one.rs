@@ -1,0 +1,208 @@
+//! Run a single experiment with explicit parameters and print everything —
+//! the metrics, the physical-layer counters, the message breakdown, and
+//! optionally an SVG of the field with the aggregation tree that formed.
+//!
+//! ```sh
+//! cargo run --release -p wsn-bench --bin run_one -- \
+//!     --nodes 250 --scheme greedy --duration 200 --seed 7 --svg field.svg
+//! ```
+
+use wsn_diffusion::{DiffusionConfig, DiffusionNode, MsgKind, Role, Scheme};
+use wsn_metrics::RunRecord;
+use wsn_net::{NetConfig, Network};
+use wsn_scenario::{render_svg, FailureConfig, RenderOverlay, ScenarioSpec, SourcePlacement};
+use wsn_sim::SimDuration;
+
+struct Args {
+    nodes: usize,
+    scheme: Scheme,
+    duration_s: u64,
+    seed: u64,
+    sources: usize,
+    sinks: usize,
+    failures: bool,
+    random_sources: bool,
+    svg: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        nodes: 200,
+        scheme: Scheme::Greedy,
+        duration_s: 200,
+        seed: 2002,
+        sources: 5,
+        sinks: 1,
+        failures: false,
+        random_sources: false,
+        svg: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| panic!("{a} needs a value"));
+        match a.as_str() {
+            "--nodes" => args.nodes = val().parse().expect("--nodes"),
+            "--scheme" => {
+                args.scheme = match val().as_str() {
+                    "greedy" => Scheme::Greedy,
+                    "opportunistic" => Scheme::Opportunistic,
+                    other => panic!("unknown scheme {other:?} (greedy|opportunistic)"),
+                }
+            }
+            "--duration" => args.duration_s = val().parse().expect("--duration"),
+            "--seed" => args.seed = val().parse().expect("--seed"),
+            "--sources" => args.sources = val().parse().expect("--sources"),
+            "--sinks" => args.sinks = val().parse().expect("--sinks"),
+            "--failures" => args.failures = true,
+            "--random-sources" => args.random_sources = true,
+            "--svg" => args.svg = Some(val()),
+            other => panic!(
+                "unknown argument {other:?}; see the module docs of run_one for usage"
+            ),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let spec = ScenarioSpec {
+        node_count: args.nodes,
+        num_sources: args.sources,
+        num_sinks: args.sinks,
+        source_placement: if args.random_sources {
+            SourcePlacement::Uniform
+        } else {
+            SourcePlacement::PAPER_CORNER
+        },
+        failures: args.failures.then(FailureConfig::default),
+        duration: SimDuration::from_secs(args.duration_s),
+        seed: args.seed,
+        ..ScenarioSpec::default()
+    };
+    let instance = spec.instantiate();
+    println!(
+        "field: {} nodes, degree {:.1}, sources {:?}, sinks {:?}, scheme {}",
+        args.nodes,
+        instance.field.topology.average_degree(),
+        instance.sources,
+        instance.sinks,
+        args.scheme
+    );
+
+    let cfg = DiffusionConfig::for_scheme(args.scheme);
+    let mut net = Network::new(
+        instance.field.topology.clone(),
+        NetConfig::default(),
+        spec.seed,
+        |id| {
+            let (is_source, is_sink) = instance.role_of(id);
+            DiffusionNode::new(cfg.clone(), id, Role { is_source, is_sink })
+        },
+    );
+    for e in &instance.failure_events {
+        if e.down {
+            net.schedule_down(e.at, e.node);
+        } else {
+            net.schedule_up(e.at, e.node);
+        }
+    }
+    let wall = std::time::Instant::now();
+    net.run_until(instance.end);
+    let wall = wall.elapsed();
+
+    // Harvest.
+    let mut distinct = 0u64;
+    let mut delay_sum = 0.0;
+    let mut generated = 0u64;
+    for (_, p) in net.protocols() {
+        if p.role().is_sink {
+            distinct += p.sink.distinct;
+            delay_sum += p.sink.delay_sum_s;
+        }
+        if p.role().is_source {
+            generated += p.events_generated;
+        }
+    }
+    let stats = net.stats();
+    let record = RunRecord {
+        node_count: args.nodes,
+        sink_count: instance.sinks.len(),
+        duration_s: instance.end.as_secs_f64(),
+        total_energy_j: net.total_energy(),
+        activity_energy_j: net.total_activity_energy(),
+        distinct_events: distinct,
+        delay_sum_s: delay_sum,
+        events_generated: generated,
+        tx_frames: stats.total_tx_frames(),
+        tx_bytes: stats.total_tx_bytes(),
+        collisions: stats.collisions,
+    };
+    let m = record.metrics();
+    println!("\nmetrics:");
+    println!("  avg dissipated energy (total): {:.6} J/node/event", m.avg_dissipated_energy);
+    println!("  avg dissipated energy (tx+rx): {:.6} J/node/event", m.avg_activity_energy);
+    println!("  avg delay:                     {:.3} s", m.avg_delay_s);
+    println!("  distinct-event delivery ratio: {:.3}", m.delivery_ratio);
+    let mut all_delays = wsn_diffusion::SinkStats::default();
+    for (_, p) in net.protocols() {
+        if p.role().is_sink {
+            all_delays.delays_s.extend_from_slice(&p.sink.delays_s);
+        }
+    }
+    if !all_delays.delays_s.is_empty() {
+        println!(
+            "  delay percentiles:             p50 {:.3} s / p95 {:.3} s / p99 {:.3} s",
+            all_delays.delay_percentile_s(50.0),
+            all_delays.delay_percentile_s(95.0),
+            all_delays.delay_percentile_s(99.0)
+        );
+    }
+    println!("\nphysical layer:");
+    println!("  frames {} ({} bytes), collisions {}, retries {}, failed unicasts {}",
+        record.tx_frames, record.tx_bytes, record.collisions,
+        stats.total_retries(), stats.total_failed());
+    println!("  energy {:.1} J total / {:.1} J communication", record.total_energy_j, record.activity_energy_j);
+    let hotspot = (0..args.nodes)
+        .map(wsn_net::NodeId::from_index)
+        .map(|id| (id, net.activity_energy(id)))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .expect("non-empty field");
+    println!(
+        "  hotspot: {} at {:.2} J ({:.1}% of network communication energy)",
+        hotspot.0,
+        hotspot.1,
+        100.0 * hotspot.1 / record.activity_energy_j.max(1e-12)
+    );
+    println!("\nmessages sent:");
+    for kind in MsgKind::ALL {
+        let n: u64 = net.protocols().map(|(_, p)| p.counters.sent(kind)).sum();
+        println!("  {kind:?}: {n}");
+    }
+    println!("\nsimulated {:.0} s in {:.2} s wall time", record.duration_s, wall.as_secs_f64());
+
+    if let Some(path) = args.svg {
+        let now = net.now();
+        let tree_edges: Vec<_> = net
+            .protocols()
+            .flat_map(|(id, p)| {
+                p.gradients()
+                    .data_neighbors(now)
+                    .into_iter()
+                    .map(move |n| (id, n))
+            })
+            .collect();
+        let overlay = RenderOverlay {
+            sources: instance.sources.clone(),
+            sinks: instance.sinks.clone(),
+            tree_edges,
+            down: (0..args.nodes)
+                .map(wsn_net::NodeId::from_index)
+                .filter(|&n| !net.is_up(n))
+                .collect(),
+        };
+        let svg = render_svg(&instance.field, &overlay);
+        std::fs::write(&path, svg).expect("write SVG");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,143 @@
+//! # wsn-bench — the figure-regeneration harness
+//!
+//! One binary per evaluation figure (`fig5` … `fig10`) plus `krishnamachari`
+//! (the abstract GIT-vs-SPT contrast from the paper's introduction) and
+//! `all_figures`. Each binary accepts:
+//!
+//! * `--quick` — a reduced sweep for smoke-testing (2 fields, 60 s runs);
+//! * `--fields N` — override the fields-per-point count;
+//! * `--duration SECS` — override the simulated duration;
+//! * `--seed SEED` — override the master seed (default 2002).
+//!
+//! Output is the three metric panels of the figure as aligned text tables
+//! (mean ± standard deviation over fields) followed by CSV blocks, suitable
+//! for `tee`-ing into `bench_output.txt` and diffing against
+//! `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use wsn_core::{run_figure, Figure, FigureData, FigureParams};
+use wsn_sim::SimDuration;
+
+/// Command-line options shared by the figure binaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessOptions {
+    /// The figure-regeneration parameters.
+    pub params: FigureParams,
+    /// Also print CSV blocks after the text tables.
+    pub csv: bool,
+}
+
+impl HarnessOptions {
+    /// Parses options from an argument list (without the program name).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on unknown or malformed arguments.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut seed = 2002u64;
+        let mut quick = false;
+        let mut fields: Option<usize> = None;
+        let mut duration: Option<u64> = None;
+        let mut csv = true;
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--quick" => quick = true,
+                "--no-csv" => csv = false,
+                "--fields" => {
+                    let v = it.next().expect("--fields needs a value");
+                    fields = Some(v.parse().expect("--fields takes an integer"));
+                }
+                "--duration" => {
+                    let v = it.next().expect("--duration needs a value");
+                    duration = Some(v.parse().expect("--duration takes seconds"));
+                }
+                "--seed" => {
+                    let v = it.next().expect("--seed needs a value");
+                    seed = v.parse().expect("--seed takes an integer");
+                }
+                other => panic!(
+                    "unknown argument {other:?}; usage: [--quick] [--fields N] [--duration SECS] [--seed SEED] [--no-csv]"
+                ),
+            }
+        }
+        let mut params = if quick {
+            FigureParams::quick(seed)
+        } else {
+            FigureParams::paper(seed)
+        };
+        if let Some(f) = fields {
+            params.fields_per_point = f;
+        }
+        if let Some(d) = duration {
+            params.duration = SimDuration::from_secs(d);
+        }
+        HarnessOptions { params, csv }
+    }
+
+    /// Parses from the process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+}
+
+/// Runs `figure` and prints its panels (and CSV, if enabled).
+pub fn run_and_print(figure: Figure, opts: &HarnessOptions) -> FigureData {
+    let start = std::time::Instant::now();
+    let data = run_figure(figure, &opts.params);
+    println!("{}", data.render_text());
+    if opts.csv {
+        println!("## CSV: energy\n{}", data.energy.render_csv());
+        println!("## CSV: delay\n{}", data.delay.render_csv());
+        println!("## CSV: delivery\n{}", data.delivery.render_csv());
+    }
+    println!(
+        "# regenerated in {:.1}s wall time ({} fields/point, {} runs/point)\n",
+        start.elapsed().as_secs_f64(),
+        opts.params.fields_per_point,
+        opts.params.fields_per_point * 2,
+    );
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_are_paper_scale() {
+        let o = HarnessOptions::parse(s(&[]));
+        assert_eq!(o.params.fields_per_point, 10);
+        assert_eq!(o.params.node_counts.len(), 7);
+        assert!(o.csv);
+    }
+
+    #[test]
+    fn quick_flag_shrinks_sweep() {
+        let o = HarnessOptions::parse(s(&["--quick"]));
+        assert_eq!(o.params.fields_per_point, 2);
+    }
+
+    #[test]
+    fn overrides_apply() {
+        let o = HarnessOptions::parse(s(&[
+            "--quick", "--fields", "4", "--duration", "80", "--seed", "7", "--no-csv",
+        ]));
+        assert_eq!(o.params.fields_per_point, 4);
+        assert_eq!(o.params.duration, SimDuration::from_secs(80));
+        assert_eq!(o.params.seed, 7);
+        assert!(!o.csv);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn unknown_argument_panics() {
+        HarnessOptions::parse(s(&["--bogus"]));
+    }
+}

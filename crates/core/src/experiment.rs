@@ -1,0 +1,133 @@
+//! Running one experiment: a scenario, a scheme, a seed → a [`RunRecord`].
+
+use wsn_diffusion::{DiffusionConfig, DiffusionNode, Role, Scheme};
+use wsn_metrics::RunRecord;
+use wsn_net::{NetConfig, Network, NodeId};
+use wsn_scenario::{ScenarioInstance, ScenarioSpec};
+
+/// A fully specified experiment run.
+///
+/// # Examples
+///
+/// ```
+/// use wsn_core::Experiment;
+/// use wsn_diffusion::Scheme;
+/// use wsn_scenario::ScenarioSpec;
+/// use wsn_sim::SimDuration;
+///
+/// let mut spec = ScenarioSpec::paper(60, 1);
+/// spec.duration = SimDuration::from_secs(30); // short demo run
+/// let outcome = Experiment::new(spec, Scheme::Greedy).run();
+/// assert!(outcome.record.distinct_events > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// The scenario (field, roles, failures, duration, seed).
+    pub scenario: ScenarioSpec,
+    /// Protocol parameters (scheme, aggregation function, timers).
+    pub diffusion: DiffusionConfig,
+    /// Physical/MAC parameters.
+    pub net: NetConfig,
+}
+
+/// The result of one run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Raw counters for the metrics pipeline.
+    pub record: RunRecord,
+    /// Per-sink distinct-event counts (diagnostics).
+    pub per_sink_distinct: Vec<(NodeId, u64)>,
+    /// Data items dropped for want of a data gradient (diagnostics).
+    pub items_dropped_no_gradient: u64,
+    /// The hottest node's communication energy and its id — the traffic
+    /// concentration the paper's §3 warns aggregated paths can create
+    /// ("aggregated data paths introduce traffic concentration ... which
+    /// adversely impacts network lifetime").
+    pub hotspot: (NodeId, f64),
+}
+
+impl Experiment {
+    /// An experiment over `scenario` with `scheme` and all other parameters
+    /// at the paper's defaults.
+    pub fn new(scenario: ScenarioSpec, scheme: Scheme) -> Self {
+        Experiment {
+            scenario,
+            diffusion: DiffusionConfig::for_scheme(scheme),
+            net: NetConfig::default(),
+        }
+    }
+
+    /// Runs the experiment to completion and harvests the counters.
+    ///
+    /// Deterministic: the outcome is a pure function of the experiment's
+    /// fields.
+    pub fn run(&self) -> RunOutcome {
+        let instance = self.scenario.instantiate();
+        self.run_on(&instance)
+    }
+
+    /// Runs on an already instantiated scenario (lets paired comparisons
+    /// share one instantiation).
+    pub fn run_on(&self, instance: &ScenarioInstance) -> RunOutcome {
+        let diffusion = self.diffusion.clone();
+        let mut net = Network::new(
+            instance.field.topology.clone(),
+            self.net.clone(),
+            self.scenario.seed,
+            |id| {
+                let (is_source, is_sink) = instance.role_of(id);
+                DiffusionNode::new(diffusion.clone(), id, Role { is_source, is_sink })
+            },
+        );
+        for e in &instance.failure_events {
+            if e.down {
+                net.schedule_down(e.at, e.node);
+            } else {
+                net.schedule_up(e.at, e.node);
+            }
+        }
+        net.run_until(instance.end);
+
+        let mut distinct_events = 0;
+        let mut delay_sum_s = 0.0;
+        let mut events_generated = 0;
+        let mut items_dropped = 0;
+        let mut per_sink_distinct = Vec::new();
+        for (id, proto) in net.protocols() {
+            if proto.role().is_sink {
+                distinct_events += proto.sink.distinct;
+                delay_sum_s += proto.sink.delay_sum_s;
+                per_sink_distinct.push((id, proto.sink.distinct));
+            }
+            if proto.role().is_source {
+                events_generated += proto.events_generated;
+            }
+            items_dropped += proto.counters.items_dropped_no_gradient;
+        }
+        let hotspot = (0..instance.field.positions.len())
+            .map(NodeId::from_index)
+            .map(|id| (id, net.activity_energy(id)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite energies"))
+            .unwrap_or((NodeId(0), 0.0));
+        let stats = net.stats();
+        let record = RunRecord {
+            node_count: instance.field.positions.len(),
+            sink_count: instance.sinks.len(),
+            duration_s: instance.end.as_secs_f64(),
+            total_energy_j: net.total_energy(),
+            activity_energy_j: net.total_activity_energy(),
+            distinct_events,
+            delay_sum_s,
+            events_generated,
+            tx_frames: stats.total_tx_frames(),
+            tx_bytes: stats.total_tx_bytes(),
+            collisions: stats.collisions,
+        };
+        RunOutcome {
+            record,
+            per_sink_distinct,
+            items_dropped_no_gradient: items_dropped,
+            hotspot,
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Regenerating the paper's figures.
+//!
+//! Every figure of the evaluation section (Figures 5–10) is a family of
+//! three panels — (a) average dissipated energy, (b) average delay,
+//! (c) distinct-event delivery ratio — over a sweep variable. [`run_figure`]
+//! reproduces one figure as three [`FigureTable`]s.
+
+use wsn_diffusion::{AggregationFn, Scheme};
+use wsn_metrics::FigureTable;
+use wsn_scenario::{FailureConfig, ScenarioSpec, SourcePlacement};
+use wsn_sim::SimDuration;
+
+use crate::sweep::{compare_point, field_seed, ComparisonPoint, MetricKind};
+
+/// The figures of the paper's evaluation section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Figure {
+    /// Figure 5: greedy vs opportunistic over network density (50–350
+    /// nodes), perfect aggregation, 5 corner sources, 1 corner sink.
+    Fig5Comparative,
+    /// Figure 6: the same sweep under rolling node failures (20% down for
+    /// 30 s, repeatedly).
+    Fig6NodeFailures,
+    /// Figure 7: the same sweep with sources placed uniformly at random.
+    Fig7RandomSources,
+    /// Figure 8: 1–5 sinks at 350 nodes.
+    Fig8NumberOfSinks,
+    /// Figure 9: 2–14 sources at 350 nodes.
+    Fig9NumberOfSources,
+    /// Figure 10: 2–14 sources at 350 nodes under linear aggregation.
+    Fig10LinearAggregation,
+}
+
+impl Figure {
+    /// All figures in paper order.
+    pub const ALL: [Figure; 6] = [
+        Figure::Fig5Comparative,
+        Figure::Fig6NodeFailures,
+        Figure::Fig7RandomSources,
+        Figure::Fig8NumberOfSinks,
+        Figure::Fig9NumberOfSources,
+        Figure::Fig10LinearAggregation,
+    ];
+
+    /// The paper's caption for the figure.
+    pub fn title(self) -> &'static str {
+        match self {
+            Figure::Fig5Comparative => {
+                "Figure 5: The greedy aggregation compared to the opportunistic aggregation"
+            }
+            Figure::Fig6NodeFailures => "Figure 6: Impact of node failures",
+            Figure::Fig7RandomSources => "Figure 7: Impact of the random source placement",
+            Figure::Fig8NumberOfSinks => "Figure 8: Impact of the number of sinks",
+            Figure::Fig9NumberOfSources => "Figure 9: Impact of the number of sources",
+            Figure::Fig10LinearAggregation => "Figure 10: Impact of the linear aggregation",
+        }
+    }
+
+    /// The sweep-axis label.
+    pub fn x_label(self) -> &'static str {
+        match self {
+            Figure::Fig8NumberOfSinks => "sinks",
+            Figure::Fig9NumberOfSources | Figure::Fig10LinearAggregation => "sources",
+            _ => "nodes",
+        }
+    }
+
+    fn stream(self) -> u64 {
+        match self {
+            Figure::Fig5Comparative => 5,
+            Figure::Fig6NodeFailures => 6,
+            Figure::Fig7RandomSources => 7,
+            Figure::Fig8NumberOfSinks => 8,
+            Figure::Fig9NumberOfSources => 9,
+            Figure::Fig10LinearAggregation => 10,
+        }
+    }
+}
+
+/// Scale and budget knobs for figure regeneration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureParams {
+    /// Fields (independent topologies) per sweep point. Paper: 10.
+    pub fields_per_point: usize,
+    /// Simulated duration per run. Longer runs amortize the diffusion
+    /// control overhead over more exploratory rounds.
+    pub duration: SimDuration,
+    /// Master seed.
+    pub seed: u64,
+    /// Node counts for the density sweeps (Figures 5–7). Paper:
+    /// 50–350 step 50.
+    pub node_counts: Vec<usize>,
+    /// Field size for the sink/source sweeps (Figures 8–10). Paper: 350.
+    pub dense_field_nodes: usize,
+    /// Sink counts for Figure 8. Paper: 1–5.
+    pub sink_counts: Vec<usize>,
+    /// Source counts for Figures 9–10. Paper: 2, 5, 8, 11, 14.
+    pub source_counts: Vec<usize>,
+}
+
+impl FigureParams {
+    /// The paper's full methodology (10 fields per point, 200 s runs,
+    /// 50–350 nodes). Regenerating a full figure at these settings takes
+    /// minutes of wall time; see [`FigureParams::quick`] for smoke tests.
+    pub fn paper(seed: u64) -> Self {
+        FigureParams {
+            fields_per_point: 10,
+            duration: SimDuration::from_secs(200),
+            seed,
+            node_counts: vec![50, 100, 150, 200, 250, 300, 350],
+            dense_field_nodes: 350,
+            sink_counts: vec![1, 2, 3, 4, 5],
+            source_counts: vec![2, 5, 8, 11, 14],
+        }
+    }
+
+    /// A reduced configuration for tests and demos: fewer fields, shorter
+    /// runs, a coarser sweep.
+    pub fn quick(seed: u64) -> Self {
+        FigureParams {
+            fields_per_point: 2,
+            duration: SimDuration::from_secs(60),
+            seed,
+            node_counts: vec![50, 150, 250],
+            dense_field_nodes: 150,
+            sink_counts: vec![1, 3],
+            source_counts: vec![2, 5],
+        }
+    }
+}
+
+/// The three panels of a regenerated figure.
+#[derive(Debug, Clone)]
+pub struct FigureData {
+    /// Which figure this is.
+    pub figure: Figure,
+    /// Panel (a): average dissipated energy (communication component).
+    pub energy: FigureTable,
+    /// Panel (a), total accounting: includes the idle-listening floor.
+    pub energy_total: FigureTable,
+    /// Panel (b): average delay.
+    pub delay: FigureTable,
+    /// Panel (c): distinct-event delivery ratio.
+    pub delivery: FigureTable,
+    /// The raw per-point comparisons (for further analysis).
+    pub points: Vec<ComparisonPoint>,
+}
+
+impl FigureData {
+    /// Renders all panels as text.
+    pub fn render_text(&self) -> String {
+        format!(
+            "{}\n\n{}\n{}\n{}\n{}",
+            self.figure.title(),
+            self.energy.render_text(),
+            self.delay.render_text(),
+            self.delivery.render_text(),
+            self.energy_total.render_text()
+        )
+    }
+}
+
+/// Regenerates one figure.
+pub fn run_figure(figure: Figure, params: &FigureParams) -> FigureData {
+    let aggregation = match figure {
+        Figure::Fig10LinearAggregation => AggregationFn::LINEAR_PAPER,
+        _ => AggregationFn::Perfect,
+    };
+    let xs: Vec<usize> = match figure {
+        Figure::Fig8NumberOfSinks => params.sink_counts.clone(),
+        Figure::Fig9NumberOfSources | Figure::Fig10LinearAggregation => {
+            params.source_counts.clone()
+        }
+        _ => params.node_counts.clone(),
+    };
+
+    let mut points = Vec::with_capacity(xs.len());
+    for (pi, &x) in xs.iter().enumerate() {
+        let point = compare_point(x as f64, params.fields_per_point, aggregation, |f| {
+            let seed = field_seed(
+                params.seed ^ figure.stream().wrapping_mul(0x0000_0100_0000_01b3),
+                pi as u64,
+                f as u64,
+            );
+            let mut spec = match figure {
+                Figure::Fig5Comparative => ScenarioSpec::paper(x, seed),
+                Figure::Fig6NodeFailures => ScenarioSpec {
+                    failures: Some(FailureConfig::default()),
+                    ..ScenarioSpec::paper(x, seed)
+                },
+                Figure::Fig7RandomSources => ScenarioSpec {
+                    source_placement: SourcePlacement::Uniform,
+                    ..ScenarioSpec::paper(x, seed)
+                },
+                Figure::Fig8NumberOfSinks => ScenarioSpec {
+                    num_sinks: x,
+                    ..ScenarioSpec::paper(params.dense_field_nodes, seed)
+                },
+                Figure::Fig9NumberOfSources | Figure::Fig10LinearAggregation => ScenarioSpec {
+                    num_sources: x,
+                    ..ScenarioSpec::paper(params.dense_field_nodes, seed)
+                },
+            };
+            spec.duration = params.duration;
+            spec
+        });
+        points.push(point);
+    }
+
+    let columns = vec!["greedy".to_string(), "opportunistic".to_string()];
+    let panel_metrics = [
+        MetricKind::ActivityEnergy,
+        MetricKind::Delay,
+        MetricKind::Delivery,
+        MetricKind::Energy,
+    ];
+    let mut tables: Vec<FigureTable> = panel_metrics
+        .iter()
+        .map(|m| {
+            FigureTable::new(
+                format!("{} — {}", figure.title(), m.label()),
+                figure.x_label(),
+                columns.clone(),
+            )
+        })
+        .collect();
+    for point in &points {
+        for (ti, metric) in panel_metrics.iter().enumerate() {
+            tables[ti].push_row(
+                point.x,
+                vec![
+                    point.summary(Scheme::Greedy, *metric),
+                    point.summary(Scheme::Opportunistic, *metric),
+                ],
+            );
+        }
+    }
+    let energy_total = tables.pop().expect("four tables");
+    let delivery = tables.pop().expect("three tables");
+    let delay = tables.pop().expect("two tables");
+    let energy = tables.pop().expect("one table");
+    FigureData {
+        figure,
+        energy,
+        energy_total,
+        delay,
+        delivery,
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_metadata_is_consistent() {
+        for f in Figure::ALL {
+            assert!(f.title().starts_with("Figure"));
+            assert!(!f.x_label().is_empty());
+        }
+        assert_eq!(Figure::Fig8NumberOfSinks.x_label(), "sinks");
+        assert_eq!(Figure::Fig5Comparative.x_label(), "nodes");
+    }
+
+    #[test]
+    fn quick_params_are_smaller_than_paper() {
+        let q = FigureParams::quick(0);
+        let p = FigureParams::paper(0);
+        assert!(q.fields_per_point < p.fields_per_point);
+        assert!(q.duration < p.duration);
+        assert!(q.node_counts.len() < p.node_counts.len());
+        assert_eq!(p.node_counts, vec![50, 100, 150, 200, 250, 300, 350]);
+        assert_eq!(p.source_counts, vec![2, 5, 8, 11, 14]);
+        assert_eq!(p.sink_counts, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn streams_are_distinct() {
+        let set: std::collections::HashSet<u64> =
+            Figure::ALL.iter().map(|f| f.stream()).collect();
+        assert_eq!(set.len(), Figure::ALL.len());
+    }
+}

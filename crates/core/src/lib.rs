@@ -1,0 +1,41 @@
+//! # wsn-core — the experiment driver
+//!
+//! The user-facing crate of the reproduction of *Impact of Network Density
+//! on Data Aggregation in Wireless Sensor Networks* (ICDCS 2002). It ties
+//! the substrates together:
+//!
+//! * [`Experiment`] — one scenario + one scheme + one seed → a
+//!   [`wsn_metrics::RunRecord`];
+//! * [`compare_point`] — paired greedy/opportunistic runs on identical
+//!   fields;
+//! * [`run_figure`] — regenerates any of the paper's Figures 5–10 as three
+//!   metric tables.
+//!
+//! # Examples
+//!
+//! Measure the greedy scheme's energy metric on a small dense field:
+//!
+//! ```
+//! use wsn_core::Experiment;
+//! use wsn_diffusion::Scheme;
+//! use wsn_scenario::ScenarioSpec;
+//! use wsn_sim::SimDuration;
+//!
+//! let mut spec = ScenarioSpec::paper(60, 3);
+//! spec.duration = SimDuration::from_secs(30);
+//! let outcome = Experiment::new(spec, Scheme::Greedy).run();
+//! let metrics = outcome.record.metrics();
+//! assert!(metrics.delivery_ratio > 0.0);
+//! assert!(metrics.avg_dissipated_energy.is_finite());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod experiment;
+mod figures;
+mod sweep;
+
+pub use experiment::{Experiment, RunOutcome};
+pub use figures::{run_figure, Figure, FigureData, FigureParams};
+pub use sweep::{compare_point, compare_point_with, field_seed, ComparisonPoint, MetricKind};

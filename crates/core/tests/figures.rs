@@ -1,0 +1,80 @@
+//! Integration tests of the figure-regeneration pipeline.
+
+use wsn_core::{run_figure, Figure, FigureParams};
+use wsn_sim::SimDuration;
+
+/// The smallest meaningful figure configuration: one field per point, two
+/// sweep points, 40-second runs.
+fn tiny_params() -> FigureParams {
+    FigureParams {
+        fields_per_point: 1,
+        duration: SimDuration::from_secs(40),
+        seed: 77,
+        node_counts: vec![60, 120],
+        dense_field_nodes: 100,
+        sink_counts: vec![1, 2],
+        source_counts: vec![2, 4],
+    }
+}
+
+#[test]
+fn figure5_pipeline_produces_well_formed_tables() {
+    let data = run_figure(Figure::Fig5Comparative, &tiny_params());
+    for table in [&data.energy, &data.delay, &data.delivery] {
+        assert_eq!(table.rows.len(), 2);
+        assert_eq!(table.columns, vec!["greedy", "opportunistic"]);
+        for row in &table.rows {
+            assert_eq!(row.cells.len(), 2);
+        }
+    }
+    assert_eq!(data.energy.rows[0].x, 60.0);
+    assert_eq!(data.energy.rows[1].x, 120.0);
+    // Both schemes delivered something on both points.
+    for row in &data.delivery.rows {
+        for cell in &row.cells {
+            assert!(cell.n == 1, "one field per point");
+            assert!(cell.mean > 0.3, "delivery {:.3} too low", cell.mean);
+        }
+    }
+    // The text rendering carries the paper's caption.
+    assert!(data.render_text().contains("Figure 5"));
+}
+
+#[test]
+fn sweep_figures_use_their_own_axes() {
+    let sinks = run_figure(Figure::Fig8NumberOfSinks, &tiny_params());
+    assert_eq!(sinks.energy.x_label, "sinks");
+    assert_eq!(sinks.energy.rows[0].x, 1.0);
+    assert_eq!(sinks.energy.rows[1].x, 2.0);
+
+    let sources = run_figure(Figure::Fig9NumberOfSources, &tiny_params());
+    assert_eq!(sources.energy.x_label, "sources");
+    assert_eq!(sources.energy.rows[0].x, 2.0);
+}
+
+#[test]
+fn figure_regeneration_is_deterministic() {
+    let params = FigureParams {
+        node_counts: vec![60],
+        ..tiny_params()
+    };
+    let a = run_figure(Figure::Fig5Comparative, &params);
+    let b = run_figure(Figure::Fig5Comparative, &params);
+    assert_eq!(a.energy.rows[0].cells[0].mean, b.energy.rows[0].cells[0].mean);
+    assert_eq!(a.delay.rows[0].cells[1].mean, b.delay.rows[0].cells[1].mean);
+}
+
+#[test]
+fn linear_aggregation_figure_differs_from_perfect() {
+    let params = FigureParams {
+        source_counts: vec![4],
+        ..tiny_params()
+    };
+    let perfect = run_figure(Figure::Fig9NumberOfSources, &params);
+    let linear = run_figure(Figure::Fig10LinearAggregation, &params);
+    // Same scenario seeds, different aggregation function: energies differ.
+    assert_ne!(
+        perfect.energy.rows[0].cells[0].mean,
+        linear.energy.rows[0].cells[0].mean
+    );
+}

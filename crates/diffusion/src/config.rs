@@ -1,0 +1,210 @@
+//! Protocol configuration: the two aggregation schemes, the aggregation
+//! functions, and every timer/rate from the paper's §5.1 methodology.
+
+use wsn_sim::SimDuration;
+
+/// Which directed-diffusion instantiation a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// The prior instantiation: reinforce the empirically lowest-delay path
+    /// (the neighbor that delivered the first copy of a previously unseen
+    /// exploratory event); aggregation happens only where such paths happen
+    /// to overlap.
+    Opportunistic,
+    /// The paper's contribution: construct a greedy incremental tree. The
+    /// sink delays reinforcement by `T_p`, compares exploratory energy costs
+    /// `E` against incremental costs `C` advertised along the existing tree,
+    /// and truncates inefficient branches with a weighted set cover of
+    /// sources.
+    Greedy,
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scheme::Opportunistic => write!(f, "opportunistic"),
+            Scheme::Greedy => write!(f, "greedy"),
+        }
+    }
+}
+
+/// How aggregates are sized (paper §5.4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AggregationFn {
+    /// Perfect aggregation: an aggregate is the size of a single event
+    /// regardless of how many data items it carries.
+    Perfect,
+    /// Linear aggregation: `z(S) = d·item_bytes + header_bytes` for `d` data
+    /// items — lossless packing where only per-transmission overhead is
+    /// saved. The paper uses 28-byte items and a 36-byte header.
+    Linear {
+        /// Bytes per data item.
+        item_bytes: u32,
+        /// Fixed header bytes per aggregate.
+        header_bytes: u32,
+    },
+}
+
+impl AggregationFn {
+    /// The paper's linear function: 28-byte items, 36-byte header (so a
+    /// single-item aggregate is exactly one 64-byte event).
+    pub const LINEAR_PAPER: AggregationFn = AggregationFn::Linear {
+        item_bytes: 28,
+        header_bytes: 36,
+    };
+
+    /// The size in bytes of an aggregate carrying `items` data items, given
+    /// the configured single-event size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is zero — empty aggregates are never transmitted.
+    pub fn aggregate_bytes(&self, items: usize, event_bytes: u32) -> u32 {
+        assert!(items > 0, "aggregates carry at least one item");
+        match *self {
+            AggregationFn::Perfect => event_bytes,
+            AggregationFn::Linear {
+                item_bytes,
+                header_bytes,
+            } => u32::try_from(items).expect("item count") * item_bytes + header_bytes,
+        }
+    }
+}
+
+/// All protocol parameters. Defaults reproduce the paper's §5.1 methodology
+/// (see `DESIGN.md` §3 for the OCR restoration table).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffusionConfig {
+    /// Aggregation scheme under test.
+    pub scheme: Scheme,
+    /// Aggregate sizing function.
+    pub aggregation: AggregationFn,
+    /// Interval between data events at each source (2 events/s → 0.5 s).
+    pub event_period: SimDuration,
+    /// Interval between exploratory events (one in 50 s).
+    pub exploratory_interval: SimDuration,
+    /// Period of the sink's interest refresh flood (5 s).
+    pub interest_period: SimDuration,
+    /// Expiry of exploratory gradients set up by interests (15 s).
+    pub gradient_timeout: SimDuration,
+    /// Expiry of data gradients set up by reinforcement. Must exceed two
+    /// exploratory intervals so the tree survives between rounds (110 s).
+    pub data_gradient_timeout: SimDuration,
+    /// The aggregation delay `T_a`: how long an aggregation point holds data
+    /// before flushing (0.5 s).
+    pub aggregation_delay: SimDuration,
+    /// The positive-reinforcement timer `T_p` at the sink (greedy only, 1 s).
+    pub reinforce_delay: SimDuration,
+    /// The negative-reinforcement window `T_n` (2 s = 4·T_a).
+    pub truncation_window: SimDuration,
+    /// Event (and exploratory-event) packet size (64 B).
+    pub event_bytes: u32,
+    /// Size of every other message (36 B).
+    pub control_bytes: u32,
+    /// Maximum random delay before re-flooding an interest —
+    /// de-synchronizes the (large, periodic) interest flood.
+    pub interest_jitter: SimDuration,
+    /// Maximum random delay before re-flooding an exploratory event.
+    /// Smaller values make first-copy arrival order track path latency more
+    /// closely (the signal the opportunistic scheme reinforces on) at the
+    /// price of a denser, more collision-prone flood.
+    pub exploratory_jitter: SimDuration,
+    /// Maximum random delay before unicasting data/control messages.
+    pub send_jitter: SimDuration,
+    /// When sources begin detecting the phenomenon (interests need a few
+    /// floods first).
+    pub source_start: SimDuration,
+}
+
+impl Default for DiffusionConfig {
+    fn default() -> Self {
+        DiffusionConfig {
+            scheme: Scheme::Greedy,
+            aggregation: AggregationFn::Perfect,
+            event_period: SimDuration::from_millis(500),
+            exploratory_interval: SimDuration::from_secs(50),
+            interest_period: SimDuration::from_secs(5),
+            gradient_timeout: SimDuration::from_secs(15),
+            data_gradient_timeout: SimDuration::from_secs(110),
+            aggregation_delay: SimDuration::from_millis(500),
+            reinforce_delay: SimDuration::from_secs(1),
+            truncation_window: SimDuration::from_secs(2),
+            event_bytes: 64,
+            control_bytes: 36,
+            interest_jitter: SimDuration::from_millis(300),
+            exploratory_jitter: SimDuration::from_millis(300),
+            send_jitter: SimDuration::from_millis(10),
+            source_start: SimDuration::from_secs(5),
+        }
+    }
+}
+
+impl DiffusionConfig {
+    /// A configuration for the given scheme with all other parameters at the
+    /// paper's defaults.
+    pub fn for_scheme(scheme: Scheme) -> Self {
+        DiffusionConfig {
+            scheme,
+            ..DiffusionConfig::default()
+        }
+    }
+
+    /// Events per exploratory interval (the paper: one exploratory event per
+    /// 100 generated events).
+    pub fn rounds_per_exploratory(&self) -> u32 {
+        let period = self.event_period.as_nanos().max(1);
+        u32::try_from((self.exploratory_interval.as_nanos() / period).max(1))
+            .expect("exploratory interval too long")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = DiffusionConfig::default();
+        assert_eq!(c.event_period, SimDuration::from_millis(500));
+        assert_eq!(c.exploratory_interval, SimDuration::from_secs(50));
+        assert_eq!(c.aggregation_delay, SimDuration::from_millis(500));
+        assert_eq!(c.reinforce_delay, SimDuration::from_secs(1));
+        // T_n = 4 · T_a, as stated in §4.3.
+        assert_eq!(c.truncation_window, c.aggregation_delay.saturating_mul(4));
+        assert_eq!(c.event_bytes, 64);
+        assert_eq!(c.control_bytes, 36);
+    }
+
+    #[test]
+    fn perfect_aggregation_is_constant_size() {
+        let f = AggregationFn::Perfect;
+        assert_eq!(f.aggregate_bytes(1, 64), 64);
+        assert_eq!(f.aggregate_bytes(10, 64), 64);
+    }
+
+    #[test]
+    fn linear_aggregation_matches_paper_formula() {
+        let f = AggregationFn::LINEAR_PAPER;
+        // A single item is exactly one event packet.
+        assert_eq!(f.aggregate_bytes(1, 64), 64);
+        // d items: 28·d + 36.
+        assert_eq!(f.aggregate_bytes(5, 64), 28 * 5 + 36);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn empty_aggregate_size_panics() {
+        AggregationFn::Perfect.aggregate_bytes(0, 64);
+    }
+
+    #[test]
+    fn rounds_per_exploratory_default_is_100() {
+        assert_eq!(DiffusionConfig::default().rounds_per_exploratory(), 100);
+    }
+
+    #[test]
+    fn scheme_display() {
+        assert_eq!(Scheme::Greedy.to_string(), "greedy");
+        assert_eq!(Scheme::Opportunistic.to_string(), "opportunistic");
+    }
+}

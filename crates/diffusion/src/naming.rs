@@ -1,0 +1,275 @@
+//! Attribute-value naming and interest matching (paper §2).
+//!
+//! "Data is named using attribute-value pairs. A sensing task (or a subtask
+//! thereof) is disseminated throughout the sensor network as an interest for
+//! named data." An interest is a conjunction of attribute predicates
+//! ("type = four-legged-animal", "x ∈ [0, 80]"); a sensor matches the
+//! interest when its own description satisfies every predicate.
+//!
+//! The density study runs a single task, so the rest of this crate treats
+//! the task as ambient; this module supplies the faithful naming layer —
+//! tasks are declared as [`InterestSpec`]s and sources activate only when
+//! their [`SensorDescription`] matches — and is exercised by the scenario
+//! layer's task plumbing.
+
+use std::collections::BTreeMap;
+
+/// An attribute value: sensor naming uses small scalars and tags.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// A symbolic tag, e.g. `four-legged-animal`.
+    Tag(String),
+    /// A numeric quantity, e.g. a coordinate or an interval in seconds.
+    Number(f64),
+}
+
+/// A predicate over one attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// The attribute equals the tag.
+    Is(String),
+    /// The attribute is a number in `[lo, hi]`.
+    InRange {
+        /// Lower bound, inclusive.
+        lo: f64,
+        /// Upper bound, inclusive.
+        hi: f64,
+    },
+    /// The attribute merely has to exist.
+    Exists,
+}
+
+impl Predicate {
+    /// Whether `value` satisfies this predicate.
+    pub fn matches(&self, value: &AttrValue) -> bool {
+        match (self, value) {
+            (Predicate::Is(tag), AttrValue::Tag(v)) => tag == v,
+            (Predicate::InRange { lo, hi }, AttrValue::Number(x)) => *lo <= *x && *x <= *hi,
+            (Predicate::Exists, _) => true,
+            _ => false,
+        }
+    }
+}
+
+/// What a sensor node knows about itself: its attribute-value pairs.
+///
+/// # Examples
+///
+/// ```
+/// use wsn_diffusion::SensorDescription;
+///
+/// let sensor = SensorDescription::new()
+///     .with_tag("type", "four-legged-animal")
+///     .with_number("x", 24.5)
+///     .with_number("y", 60.2);
+/// assert!(sensor.get("type").is_some());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SensorDescription {
+    attrs: BTreeMap<String, AttrValue>,
+}
+
+impl SensorDescription {
+    /// An empty description.
+    pub fn new() -> Self {
+        SensorDescription::default()
+    }
+
+    /// Adds a tag attribute.
+    pub fn with_tag(mut self, key: impl Into<String>, tag: impl Into<String>) -> Self {
+        self.attrs.insert(key.into(), AttrValue::Tag(tag.into()));
+        self
+    }
+
+    /// Adds a numeric attribute.
+    pub fn with_number(mut self, key: impl Into<String>, value: f64) -> Self {
+        self.attrs.insert(key.into(), AttrValue::Number(value));
+        self
+    }
+
+    /// Reads an attribute.
+    pub fn get(&self, key: &str) -> Option<&AttrValue> {
+        self.attrs.get(key)
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Whether the description is empty.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+}
+
+/// A sensing task: a named list of attribute predicates.
+///
+/// # Examples
+///
+/// The paper's animal-tracking task, restricted to the south-west region:
+///
+/// ```
+/// use wsn_diffusion::{InterestSpec, SensorDescription};
+///
+/// let task = InterestSpec::new("track-animals")
+///     .require_tag("type", "four-legged-animal")
+///     .require_range("x", 0.0, 80.0)
+///     .require_range("y", 0.0, 80.0);
+///
+/// let in_region = SensorDescription::new()
+///     .with_tag("type", "four-legged-animal")
+///     .with_number("x", 24.5)
+///     .with_number("y", 60.2);
+/// let out_of_region = SensorDescription::new()
+///     .with_tag("type", "four-legged-animal")
+///     .with_number("x", 150.0)
+///     .with_number("y", 60.2);
+///
+/// assert!(task.matches(&in_region));
+/// assert!(!task.matches(&out_of_region));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterestSpec {
+    name: String,
+    predicates: Vec<(String, Predicate)>,
+}
+
+impl InterestSpec {
+    /// Creates a task with the given name and no predicates (matches every
+    /// sensor).
+    pub fn new(name: impl Into<String>) -> Self {
+        InterestSpec {
+            name: name.into(),
+            predicates: Vec::new(),
+        }
+    }
+
+    /// The task name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Requires `key` to equal `tag`.
+    pub fn require_tag(mut self, key: impl Into<String>, tag: impl Into<String>) -> Self {
+        self.predicates.push((key.into(), Predicate::Is(tag.into())));
+        self
+    }
+
+    /// Requires `key` to be a number in `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is not finite.
+    pub fn require_range(mut self, key: impl Into<String>, lo: f64, hi: f64) -> Self {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "invalid range [{lo}, {hi}]"
+        );
+        self.predicates
+            .push((key.into(), Predicate::InRange { lo, hi }));
+        self
+    }
+
+    /// Requires `key` to exist with any value.
+    pub fn require_exists(mut self, key: impl Into<String>) -> Self {
+        self.predicates.push((key.into(), Predicate::Exists));
+        self
+    }
+
+    /// The predicates, in insertion order.
+    pub fn predicates(&self) -> &[(String, Predicate)] {
+        &self.predicates
+    }
+
+    /// Whether `sensor` satisfies every predicate (a missing attribute fails
+    /// its predicate).
+    pub fn matches(&self, sensor: &SensorDescription) -> bool {
+        self.predicates.iter().all(|(key, pred)| {
+            sensor.get(key).is_some_and(|v| pred.matches(v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn animal_task() -> InterestSpec {
+        InterestSpec::new("track")
+            .require_tag("type", "four-legged-animal")
+            .require_range("x", 0.0, 80.0)
+    }
+
+    #[test]
+    fn empty_interest_matches_everything() {
+        let task = InterestSpec::new("any");
+        assert!(task.matches(&SensorDescription::new()));
+        assert!(task.matches(&SensorDescription::new().with_number("x", 5.0)));
+    }
+
+    #[test]
+    fn tag_predicate_requires_exact_match() {
+        let task = animal_task();
+        let wolf = SensorDescription::new()
+            .with_tag("type", "four-legged-animal")
+            .with_number("x", 10.0);
+        let bird = SensorDescription::new()
+            .with_tag("type", "bird")
+            .with_number("x", 10.0);
+        assert!(task.matches(&wolf));
+        assert!(!task.matches(&bird));
+    }
+
+    #[test]
+    fn range_predicate_is_inclusive() {
+        let task = animal_task();
+        for (x, expect) in [(0.0, true), (80.0, true), (80.01, false), (-0.1, false)] {
+            let s = SensorDescription::new()
+                .with_tag("type", "four-legged-animal")
+                .with_number("x", x);
+            assert_eq!(task.matches(&s), expect, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn missing_attribute_fails() {
+        let task = animal_task();
+        let no_position = SensorDescription::new().with_tag("type", "four-legged-animal");
+        assert!(!task.matches(&no_position));
+    }
+
+    #[test]
+    fn type_mismatch_fails() {
+        // A range predicate against a tag value (or vice versa) never holds.
+        let task = InterestSpec::new("t").require_range("x", 0.0, 10.0);
+        let s = SensorDescription::new().with_tag("x", "five");
+        assert!(!task.matches(&s));
+        let task2 = InterestSpec::new("t").require_tag("x", "five");
+        let s2 = SensorDescription::new().with_number("x", 5.0);
+        assert!(!task2.matches(&s2));
+    }
+
+    #[test]
+    fn exists_predicate_accepts_any_value() {
+        let task = InterestSpec::new("t").require_exists("battery");
+        assert!(!task.matches(&SensorDescription::new()));
+        assert!(task.matches(&SensorDescription::new().with_number("battery", 0.4)));
+        assert!(task.matches(&SensorDescription::new().with_tag("battery", "low")));
+    }
+
+    #[test]
+    fn later_attributes_overwrite_earlier() {
+        let s = SensorDescription::new()
+            .with_number("x", 1.0)
+            .with_number("x", 2.0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get("x"), Some(&AttrValue::Number(2.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn inverted_range_panics() {
+        let _ = InterestSpec::new("t").require_range("x", 10.0, 0.0);
+    }
+}

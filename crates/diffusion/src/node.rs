@@ -1,0 +1,897 @@
+//! The per-node directed-diffusion state machine.
+//!
+//! One [`DiffusionNode`] runs on every node of the simulated network and
+//! implements both instantiations (selected by
+//! [`DiffusionConfig::scheme`]):
+//!
+//! * interest flooding and gradient maintenance (§2),
+//! * exploratory events with the energy attribute `E`, incremental cost
+//!   messages `C`, and positive reinforcement (§4.1),
+//! * the aggregation buffer with delay `T_a` and set-cover aggregate costs
+//!   (§4.2),
+//! * negative reinforcement / path truncation (§4.3).
+
+use std::collections::{HashMap, HashSet};
+
+use wsn_net::{Ctx, NodeId, Packet, Protocol, TimerHandle};
+use wsn_sim::{SimDuration, SimTime};
+
+use crate::aggregate::{AggregationBuffer, IncomingAgg};
+use crate::cache::ExplCache;
+use crate::config::{DiffusionConfig, Scheme};
+use crate::gradient::GradientTable;
+use crate::msg::{DiffMsg, EventItem, MsgId, ReinforceKind};
+use crate::stats::{ProtoCounters, SinkStats};
+use crate::truncate::{TruncationLog, WindowEntry};
+
+/// Timers used by the diffusion state machine.
+#[derive(Debug, Clone)]
+pub enum DiffTimer {
+    /// Periodic interest refresh (sinks).
+    Interest,
+    /// Periodic event generation (sources).
+    Generate,
+    /// A message waiting out its de-synchronization jitter.
+    SendJittered {
+        /// The message to transmit.
+        msg: DiffMsg,
+        /// Logical destination (`None` = broadcast).
+        dst: Option<NodeId>,
+    },
+    /// Aggregation-delay (`T_a`) flush.
+    Flush,
+    /// Periodic truncation check (`T_n`) and state housekeeping.
+    Truncate,
+    /// The sink's positive-reinforcement timer (`T_p`, greedy scheme).
+    ReinforceTimeout {
+        /// The exploratory event awaiting reinforcement.
+        id: MsgId,
+    },
+}
+
+/// The role a node plays in the sensing task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Role {
+    /// Generates events (detects the phenomenon).
+    pub is_source: bool,
+    /// Originates interests and consumes events.
+    pub is_sink: bool,
+}
+
+impl Role {
+    /// A plain forwarding node.
+    pub const RELAY: Role = Role {
+        is_source: false,
+        is_sink: false,
+    };
+    /// A source node.
+    pub const SOURCE: Role = Role {
+        is_source: true,
+        is_sink: false,
+    };
+    /// A sink node.
+    pub const SINK: Role = Role {
+        is_source: false,
+        is_sink: true,
+    };
+}
+
+/// Freshness bookkeeping for one source, for local path repair.
+#[derive(Debug, Clone, Copy)]
+struct SourceTrack {
+    /// Last time a data item from this source arrived here.
+    last_item: SimTime,
+    /// The most recent exploratory id seen from this source.
+    last_id: MsgId,
+}
+
+/// The diffusion protocol instance for one node.
+#[derive(Debug)]
+pub struct DiffusionNode {
+    cfg: DiffusionConfig,
+    role: Role,
+    me: NodeId,
+    // Control plane.
+    interest_seq: u32,
+    seen_interests: HashSet<(NodeId, u32)>,
+    gradients: GradientTable,
+    expl: ExplCache,
+    // Data plane.
+    seen_items: HashSet<(NodeId, u32)>,
+    buffer: AggregationBuffer,
+    window: TruncationLog,
+    flush_timer: Option<TimerHandle>,
+    /// Most recent time each source's data was seen here (drives the
+    /// aggregation-point and early-flush decisions).
+    last_seen_source: HashMap<NodeId, SimTime>,
+    /// The most recent exploratory event seen, used to label data-driven
+    /// gradient refreshes (re-reinforcement of active upstream providers).
+    last_expl: Option<MsgId>,
+    /// Per-source freshness for local repair: last data-item arrival and the
+    /// most recent exploratory id from that source.
+    source_tracks: HashMap<NodeId, SourceTrack>,
+    /// Neighbors the MAC reported unreachable, with suspicion expiry.
+    suspects: HashMap<NodeId, SimTime>,
+    /// Rate limiter: last repair reinforcement sent per source.
+    last_repair: HashMap<NodeId, SimTime>,
+    /// Consecutive MAC-level unicast failures per neighbor (reset by any
+    /// reception from that neighbor). One exhausted ARQ can be collision
+    /// bad luck; two in a row without hearing anything means a dead link.
+    link_failures: HashMap<NodeId, u32>,
+    // Measurement.
+    /// Delivery records (meaningful for sinks).
+    pub sink: SinkStats,
+    /// Events generated so far (meaningful for sources) — the denominator of
+    /// the distinct-event delivery ratio.
+    pub events_generated: u64,
+    /// Per-kind message counters.
+    pub counters: ProtoCounters,
+}
+
+impl DiffusionNode {
+    /// Creates the protocol instance for node `me` with the given role.
+    pub fn new(cfg: DiffusionConfig, me: NodeId, role: Role) -> Self {
+        let window = TruncationLog::new(cfg.truncation_window);
+        DiffusionNode {
+            cfg,
+            role,
+            me,
+            interest_seq: 0,
+            seen_interests: HashSet::new(),
+            gradients: GradientTable::new(),
+            expl: ExplCache::new(),
+            seen_items: HashSet::new(),
+            buffer: AggregationBuffer::new(),
+            window,
+            flush_timer: None,
+            last_seen_source: HashMap::new(),
+            last_expl: None,
+            source_tracks: HashMap::new(),
+            suspects: HashMap::new(),
+            last_repair: HashMap::new(),
+            link_failures: HashMap::new(),
+            sink: SinkStats::default(),
+            events_generated: 0,
+            counters: ProtoCounters::default(),
+        }
+    }
+
+    /// This node's role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &DiffusionConfig {
+        &self.cfg
+    }
+
+    /// The gradient table (inspection/testing).
+    pub fn gradients(&self) -> &GradientTable {
+        &self.gradients
+    }
+
+    // ------------------------------------------------------------------
+    // Sending helpers
+    // ------------------------------------------------------------------
+
+    fn send_now(&mut self, ctx: &mut Ctx<'_, DiffMsg, DiffTimer>, dst: Option<NodeId>, msg: DiffMsg) {
+        let bytes = msg.wire_bytes(&self.cfg);
+        self.counters.count_sent(msg.kind());
+        match dst {
+            None => ctx.broadcast(bytes, msg),
+            Some(n) => ctx.unicast(n, bytes, msg),
+        }
+    }
+
+    fn send_jittered(
+        &mut self,
+        ctx: &mut Ctx<'_, DiffMsg, DiffTimer>,
+        max_jitter: SimDuration,
+        dst: Option<NodeId>,
+        msg: DiffMsg,
+    ) {
+        if max_jitter.is_zero() {
+            self.send_now(ctx, dst, msg);
+        } else {
+            let delay = ctx.jitter(max_jitter);
+            ctx.set_timer(delay, DiffTimer::SendJittered { msg, dst });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Sink: interests and reinforcement
+    // ------------------------------------------------------------------
+
+    fn originate_interest(&mut self, ctx: &mut Ctx<'_, DiffMsg, DiffTimer>) {
+        let seq = self.interest_seq;
+        self.interest_seq += 1;
+        self.seen_interests.insert((self.me, seq));
+        let msg = DiffMsg::Interest { sink: self.me, seq };
+        let jitter = self.cfg.send_jitter;
+        self.send_jittered(ctx, jitter, None, msg);
+        ctx.set_timer(self.cfg.interest_period, DiffTimer::Interest);
+    }
+
+    fn sink_consider_reinforce(
+        &mut self,
+        ctx: &mut Ctx<'_, DiffMsg, DiffTimer>,
+        id: MsgId,
+        from: NodeId,
+    ) {
+        match self.cfg.scheme {
+            Scheme::Opportunistic => {
+                // Reinforce the neighbor that delivered the first copy,
+                // immediately.
+                let entry = self.expl.entry_mut(id).expect("entry just recorded");
+                if !entry.reinforce_sent {
+                    entry.reinforce_sent = true;
+                    self.send_now(ctx, Some(from), DiffMsg::Reinforce { id, kind: ReinforceKind::Establish });
+                }
+            }
+            Scheme::Greedy => {
+                // Wait T_p, collecting exploratory and incremental offers.
+                let entry = self.expl.entry_mut(id).expect("entry just recorded");
+                if !entry.timer_armed && !entry.reinforce_sent {
+                    entry.timer_armed = true;
+                    ctx.set_timer(self.cfg.reinforce_delay, DiffTimer::ReinforceTimeout { id });
+                }
+            }
+        }
+    }
+
+    fn on_reinforce_timeout(&mut self, ctx: &mut Ctx<'_, DiffMsg, DiffTimer>, id: MsgId) {
+        let Some(entry) = self.expl.entry_mut(id) else {
+            return; // state wiped by a failure in between
+        };
+        if entry.reinforce_sent {
+            return;
+        }
+        entry.reinforce_sent = true;
+        if let Some((up, _kind)) = self.expl.choose_upstream(id, self.cfg.scheme) {
+            self.send_now(ctx, Some(up), DiffMsg::Reinforce { id, kind: ReinforceKind::Establish });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Sources: event generation
+    // ------------------------------------------------------------------
+
+    /// The event round at time `now` — derived from time, not a counter, so
+    /// that sources stay synchronized across failures ("sources can be
+    /// synchronized if they are triggered by the same phenomena").
+    fn round_at(&self, now: SimTime) -> u32 {
+        let elapsed = now.saturating_duration_since(SimTime::ZERO + self.cfg.source_start);
+        u32::try_from(elapsed.as_nanos() / self.cfg.event_period.as_nanos().max(1))
+            .expect("round exceeds u32")
+    }
+
+    fn generate_event(&mut self, ctx: &mut Ctx<'_, DiffMsg, DiffTimer>) {
+        let now = ctx.now();
+        let round = self.round_at(now);
+        let item = EventItem {
+            source: self.me,
+            round,
+            generated: now,
+        };
+        self.last_seen_source.insert(self.me, now);
+        self.events_generated += 1;
+        let exploratory = round.is_multiple_of(self.cfg.rounds_per_exploratory());
+        if exploratory {
+            let id = MsgId {
+                source: self.me,
+                round,
+            };
+            // Record in our own cache: cost to ourselves is 0 and the
+            // reinforcement walk must stop here.
+            self.expl.record_exploratory(id, item, self.me, 0, now);
+            self.last_expl = Some(id);
+            if let Some(e) = self.expl.entry_mut(id) {
+                e.reinforce_sent = true;
+            }
+            self.seen_items.insert(item.key());
+            if !self.gradients.all_neighbors(now).is_empty() {
+                let msg = DiffMsg::Exploratory {
+                    id,
+                    item,
+                    energy: 1,
+                };
+                let jitter = self.cfg.send_jitter;
+                self.send_jittered(ctx, jitter, None, msg);
+            }
+        } else {
+            self.seen_items.insert(item.key());
+            self.buffer.offer(
+                IncomingAgg {
+                    from: None,
+                    items: vec![item],
+                    cost: 0.0,
+                    arrived: now,
+                },
+                &[item],
+            );
+            self.maybe_flush(ctx);
+        }
+        ctx.set_timer(self.next_generate_delay(now), DiffTimer::Generate);
+    }
+
+    /// Delay until the next round boundary (exact, so rounds stay aligned).
+    fn next_generate_delay(&self, now: SimTime) -> SimDuration {
+        let period = self.cfg.event_period.as_nanos().max(1);
+        let start = self.cfg.source_start.as_nanos();
+        let now_ns = now.as_nanos();
+        let next = if now_ns < start {
+            start
+        } else {
+            start + ((now_ns - start) / period + 1) * period
+        };
+        SimDuration::from_nanos(next - now_ns)
+    }
+
+    // ------------------------------------------------------------------
+    // Data plane: aggregation and forwarding
+    // ------------------------------------------------------------------
+
+    /// The sources whose data passed through here within the truncation
+    /// window — the node's current notion of "expected" upstream sources.
+    fn expected_sources(&self, now: SimTime) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .last_seen_source
+            .iter()
+            .filter(|(_, &t)| now.saturating_duration_since(t) <= self.cfg.truncation_window)
+            .map(|(&s, _)| s)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn maybe_flush(&mut self, ctx: &mut Ctx<'_, DiffMsg, DiffTimer>) {
+        if !self.buffer.has_pending() {
+            return;
+        }
+        let now = ctx.now();
+        let expected = self.expected_sources(now);
+        let not_aggregation_point = expected.len() <= 1;
+        let sufficient = !not_aggregation_point && {
+            let pending = self.buffer.pending_sources();
+            expected.iter().all(|s| pending.binary_search(s).is_ok())
+        };
+        if not_aggregation_point || sufficient {
+            self.flush(ctx);
+        } else if self.flush_timer.is_none() {
+            self.flush_timer = Some(ctx.set_timer(self.cfg.aggregation_delay, DiffTimer::Flush));
+        }
+    }
+
+    fn flush(&mut self, ctx: &mut Ctx<'_, DiffMsg, DiffTimer>) {
+        if let Some(h) = self.flush_timer.take() {
+            ctx.cancel_timer(h);
+        }
+        let Some(out) = self.buffer.flush() else {
+            return;
+        };
+        let now = ctx.now();
+        let downstream = self.gradients.data_neighbors(now);
+        if downstream.is_empty() {
+            self.counters.items_dropped_no_gradient += out.items.len() as u64;
+            return;
+        }
+        for n in downstream {
+            let msg = DiffMsg::Data {
+                items: out.items.clone(),
+                cost: out.cost,
+            };
+            let jitter = self.cfg.send_jitter;
+            self.send_jittered(ctx, jitter, Some(n), msg);
+        }
+    }
+
+    fn on_data(
+        &mut self,
+        ctx: &mut Ctx<'_, DiffMsg, DiffTimer>,
+        from: NodeId,
+        items: &[EventItem],
+        cost: f64,
+    ) {
+        let now = ctx.now();
+        let mut new_items = Vec::new();
+        for item in items {
+            self.last_seen_source.insert(item.source, now);
+            if let Some(track) = self.source_tracks.get_mut(&item.source) {
+                track.last_item = now;
+            }
+            if self.seen_items.insert(item.key()) {
+                new_items.push(*item);
+                if self.role.is_sink {
+                    self.sink.record_distinct(item, now);
+                }
+            } else if self.role.is_sink {
+                self.sink.record_duplicate();
+            }
+        }
+        self.window.record(WindowEntry {
+            from,
+            items: items.to_vec(),
+            cost,
+            arrived: now,
+            had_new: !new_items.is_empty(),
+        });
+        // Sinks consume; they only buffer-and-forward when they are also a
+        // relay on another sink's tree (they hold data gradients).
+        if !self.role.is_sink || self.gradients.on_tree(now) {
+            self.buffer.offer(
+                IncomingAgg {
+                    from: Some(from),
+                    items: items.to_vec(),
+                    cost,
+                    arrived: now,
+                },
+                &new_items,
+            );
+            self.maybe_flush(ctx);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Exploratory events and incremental costs
+    // ------------------------------------------------------------------
+
+    fn on_exploratory(
+        &mut self,
+        ctx: &mut Ctx<'_, DiffMsg, DiffTimer>,
+        from: NodeId,
+        id: MsgId,
+        item: EventItem,
+        energy: u32,
+    ) {
+        let now = ctx.now();
+        let first = self.expl.record_exploratory(id, item, from, energy, now);
+        if !first {
+            return;
+        }
+        self.last_expl = Some(id);
+        let track = self.source_tracks.entry(id.source).or_insert(SourceTrack {
+            last_item: now,
+            last_id: id,
+        });
+        if id.round >= track.last_id.round {
+            track.last_id = id;
+        }
+        // Sinks consume the event (exploratory events are real events).
+        if self.role.is_sink {
+            if self.seen_items.insert(item.key()) {
+                self.sink.record_distinct(&item, now);
+            } else {
+                self.sink.record_duplicate();
+            }
+            self.sink_consider_reinforce(ctx, id, from);
+        }
+        // Re-flood along gradients with E increased by this transmission.
+        if !self.gradients.all_neighbors(now).is_empty() {
+            let msg = DiffMsg::Exploratory {
+                id,
+                item,
+                energy: energy + 1,
+            };
+            let jitter = self.cfg.exploratory_jitter;
+            self.send_jittered(ctx, jitter, None, msg);
+        }
+        // An on-tree *source* hearing another source's exploratory event
+        // advertises the tree's proximity with an incremental cost message
+        // (greedy scheme only).
+        if self.cfg.scheme == Scheme::Greedy
+            && self.role.is_source
+            && id.source != self.me
+            && self.gradients.on_tree(now)
+            && self.expl.first_incremental(id, self.me)
+        {
+            for n in self.gradients.data_neighbors(now) {
+                let msg = DiffMsg::IncrementalCost {
+                    id,
+                    origin: self.me,
+                    cost: energy,
+                };
+                let jitter = self.cfg.send_jitter;
+                self.send_jittered(ctx, jitter, Some(n), msg);
+            }
+        }
+    }
+
+    fn on_incremental(
+        &mut self,
+        ctx: &mut Ctx<'_, DiffMsg, DiffTimer>,
+        from: NodeId,
+        id: MsgId,
+        origin: NodeId,
+        cost: u32,
+    ) {
+        let now = ctx.now();
+        let placeholder = EventItem {
+            source: id.source,
+            round: id.round,
+            generated: now,
+        };
+        self.expl.record_incremental(id, placeholder, from, cost, now);
+        if self.role.is_sink {
+            // Offers recorded; make sure a reinforcement decision happens
+            // even if the exploratory flood misses us.
+            if self.cfg.scheme == Scheme::Greedy {
+                let entry = self.expl.entry_mut(id).expect("entry just recorded");
+                if !entry.timer_armed && !entry.reinforce_sent {
+                    entry.timer_armed = true;
+                    ctx.set_timer(self.cfg.reinforce_delay, DiffTimer::ReinforceTimeout { id });
+                }
+            }
+            return;
+        }
+        if self.expl.first_incremental(id, origin) {
+            // C only ever decreases: clamp to our own exploratory cost E.
+            let new_cost = match self.expl.own_energy(id) {
+                Some(e) => cost.min(e),
+                None => cost,
+            };
+            for n in self.gradients.data_neighbors(now) {
+                if n == from {
+                    continue; // never bounce it straight back
+                }
+                let msg = DiffMsg::IncrementalCost {
+                    id,
+                    origin,
+                    cost: new_cost,
+                };
+                let jitter = self.cfg.send_jitter;
+                self.send_jittered(ctx, jitter, Some(n), msg);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reinforcement handling
+    // ------------------------------------------------------------------
+
+    fn on_reinforce(
+        &mut self,
+        ctx: &mut Ctx<'_, DiffMsg, DiffTimer>,
+        from: NodeId,
+        id: MsgId,
+        kind: ReinforceKind,
+    ) {
+        let now = ctx.now();
+        self.gradients
+            .reinforce(from, now + self.cfg.data_gradient_timeout);
+        if id.source == self.me {
+            return; // the tree reached the source
+        }
+        match kind {
+            ReinforceKind::Refresh => {} // gradient extended; nothing to propagate
+            ReinforceKind::Establish => {
+                let Some(entry) = self.expl.entry_mut(id) else {
+                    return; // nothing known about this event; gradient is set anyway
+                };
+                if entry.reinforce_sent {
+                    return;
+                }
+                entry.reinforce_sent = true;
+                if let Some((up, _kind)) = self.expl.choose_upstream(id, self.cfg.scheme) {
+                    if up != from && up != self.me {
+                        self.send_now(
+                            ctx,
+                            Some(up),
+                            DiffMsg::Reinforce { id, kind: ReinforceKind::Establish },
+                        );
+                    }
+                }
+            }
+            ReinforceKind::Repair => {
+                // Continue the repair walk only while we are ourselves
+                // starved for this source — a node with fresh data is the
+                // working part of the tree and data will now flow down.
+                let starved = self
+                    .source_tracks
+                    .get(&id.source)
+                    .is_none_or(|t| now.saturating_duration_since(t.last_item) > self.repair_silence());
+                if starved {
+                    self.attempt_repair(ctx, id.source, Some(from));
+                }
+            }
+        }
+    }
+
+    /// How long a source may be silent before repair kicks in (2·T_n).
+    fn repair_silence(&self) -> SimDuration {
+        self.cfg.truncation_window.saturating_mul(2)
+    }
+
+    /// Sends a repair reinforcement toward the best non-suspect upstream
+    /// offer for `source`'s latest exploratory id, rate-limited to one per
+    /// truncation window per source. `exclude` additionally skips the
+    /// neighbor the repair request came from (never bounce it back).
+    fn attempt_repair(
+        &mut self,
+        ctx: &mut Ctx<'_, DiffMsg, DiffTimer>,
+        source: NodeId,
+        exclude: Option<NodeId>,
+    ) {
+        let now = ctx.now();
+        let Some(track) = self.source_tracks.get(&source).copied() else {
+            return;
+        };
+        // Stale knowledge: past one exploratory interval the cached offers
+        // no longer describe the network; wait for the next round instead.
+        if now.saturating_duration_since(track.last_id.round_time(&self.cfg)) > self.cfg.exploratory_interval {
+            return;
+        }
+        if self
+            .last_repair
+            .get(&source)
+            .is_some_and(|&t| now.saturating_duration_since(t) < self.cfg.truncation_window)
+        {
+            return;
+        }
+        let mut excluded: HashSet<NodeId> =
+            self.suspects.iter().filter(|(_, &u)| u >= now).map(|(&n, _)| n).collect();
+        excluded.insert(self.me);
+        if let Some(e) = exclude {
+            excluded.insert(e);
+        }
+        if let Some((up, _)) =
+            self.expl
+                .choose_upstream_excluding(track.last_id, self.cfg.scheme, &excluded)
+        {
+            self.last_repair.insert(source, now);
+            self.send_now(
+                ctx,
+                Some(up),
+                DiffMsg::Reinforce { id: track.last_id, kind: ReinforceKind::Repair },
+            );
+        }
+    }
+
+    fn on_negative_reinforce(&mut self, ctx: &mut Ctx<'_, DiffMsg, DiffTimer>, from: NodeId) {
+        let now = ctx.now();
+        let had_data = self.gradients.degrade(from);
+        if had_data && !self.gradients.on_tree(now) {
+            // All gradients are exploratory now: truncate our own upstream
+            // data senders (the cascade of §4.3).
+            self.window.evict(now);
+            for u in self.window.senders() {
+                self.send_jittered(ctx, self.cfg.send_jitter, Some(u), DiffMsg::NegativeReinforce);
+            }
+        }
+    }
+
+    fn on_truncate_tick(&mut self, ctx: &mut Ctx<'_, DiffMsg, DiffTimer>) {
+        let now = ctx.now();
+        // Truncation applies to nodes pulling data from several neighbors.
+        let truncated = self.window.decide(self.cfg.scheme, now);
+        for &n in &truncated {
+            self.send_jittered(ctx, self.cfg.send_jitter, Some(n), DiffMsg::NegativeReinforce);
+        }
+        // Data-driven re-reinforcement: diffusion's reinforcement is a
+        // repeated interest, so neighbors actively delivering new data have
+        // their data gradients refreshed — otherwise the surviving path of a
+        // truncated pair would silently expire between exploratory rounds.
+        // Only consumers refresh: a node that is neither a sink nor on the
+        // tree has no business drawing down data, and instead truncates
+        // whoever keeps feeding it (the cascade of §4.3, re-asserted
+        // periodically in case the one-shot cascade message was lost).
+        let wants_data = self.role.is_sink || self.gradients.on_tree(now);
+        if wants_data {
+            if let Some(id) = self.last_expl {
+                for u in self.window.senders_with_new() {
+                    if !truncated.contains(&u) {
+                        self.send_jittered(
+                            ctx,
+                            self.cfg.send_jitter,
+                            Some(u),
+                            DiffMsg::Reinforce { id, kind: ReinforceKind::Refresh },
+                        );
+                    }
+                }
+            }
+        } else {
+            for u in self.window.senders() {
+                if !truncated.contains(&u) {
+                    self.send_jittered(ctx, self.cfg.send_jitter, Some(u), DiffMsg::NegativeReinforce);
+                }
+            }
+        }
+        // Local path repair: a *sink* that stopped hearing from a source it
+        // recently tracked re-reinforces an alternative upstream. Relays
+        // never initiate repair (they cannot know which sources they are
+        // supposed to relay); they only continue walks while starved.
+        if self.role.is_sink {
+            let silence = self.repair_silence();
+            let mut starved: Vec<NodeId> = self
+                .source_tracks
+                .iter()
+                .filter(|(_, t)| now.saturating_duration_since(t.last_item) > silence)
+                .map(|(&s, _)| s)
+                .collect();
+            starved.sort_unstable();
+            for source in starved {
+                self.attempt_repair(ctx, source, None);
+            }
+        }
+        self.suspects.retain(|_, &mut until| until >= now);
+        // Housekeeping rides the same periodic timer.
+        self.gradients.sweep(now);
+        let history = self.cfg.exploratory_interval.saturating_mul(2);
+        let horizon = SimTime::from_nanos(now.as_nanos().saturating_sub(history.as_nanos()));
+        self.expl.expire_before(horizon);
+        self.last_seen_source
+            .retain(|_, &mut t| now.saturating_duration_since(t) <= self.cfg.truncation_window);
+        ctx.set_timer(self.cfg.truncation_window, DiffTimer::Truncate);
+    }
+}
+
+impl Protocol for DiffusionNode {
+    type Msg = DiffMsg;
+    type Timer = DiffTimer;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, DiffMsg, DiffTimer>) {
+        debug_assert_eq!(self.me, ctx.node(), "protocol bound to the wrong node");
+        if self.role.is_sink {
+            self.originate_interest(ctx);
+        }
+        if self.role.is_source {
+            ctx.set_timer(self.next_generate_delay(ctx.now()), DiffTimer::Generate);
+        }
+        // Stagger truncation ticks across nodes.
+        let stagger = ctx.jitter(self.cfg.truncation_window);
+        ctx.set_timer(self.cfg.truncation_window + stagger, DiffTimer::Truncate);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_, DiffMsg, DiffTimer>, packet: &Packet<DiffMsg>) {
+        self.counters.count_received(packet.payload.kind());
+        let from = packet.from;
+        // Hearing anything from a neighbor clears link-failure suspicion.
+        self.link_failures.remove(&from);
+        self.suspects.remove(&from);
+        match packet.payload.clone() {
+            DiffMsg::Interest { sink, seq } => {
+                let now = ctx.now();
+                self.gradients
+                    .refresh_exploratory(from, now + self.cfg.gradient_timeout);
+                if self.seen_interests.insert((sink, seq)) {
+                    let jitter = self.cfg.interest_jitter;
+                    self.send_jittered(ctx, jitter, None, DiffMsg::Interest { sink, seq });
+                }
+            }
+            DiffMsg::Exploratory { id, item, energy } => {
+                self.on_exploratory(ctx, from, id, item, energy);
+            }
+            DiffMsg::Data { items, cost } => {
+                self.on_data(ctx, from, &items, cost);
+            }
+            DiffMsg::IncrementalCost { id, origin, cost } => {
+                self.on_incremental(ctx, from, id, origin, cost);
+            }
+            DiffMsg::Reinforce { id, kind } => {
+                self.on_reinforce(ctx, from, id, kind);
+            }
+            DiffMsg::NegativeReinforce => {
+                self.on_negative_reinforce(ctx, from);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, DiffMsg, DiffTimer>, timer: DiffTimer) {
+        match timer {
+            DiffTimer::Interest => self.originate_interest(ctx),
+            DiffTimer::Generate => self.generate_event(ctx),
+            DiffTimer::SendJittered { msg, dst } => self.send_now(ctx, dst, msg),
+            DiffTimer::Flush => {
+                self.flush_timer = None;
+                self.flush(ctx);
+            }
+            DiffTimer::Truncate => self.on_truncate_tick(ctx),
+            DiffTimer::ReinforceTimeout { id } => self.on_reinforce_timeout(ctx, id),
+        }
+    }
+
+    fn on_down(&mut self, _ctx: &mut Ctx<'_, DiffMsg, DiffTimer>) {
+        // A failed node loses all protocol state (measurements survive —
+        // they model the experimenter, not the node).
+        self.seen_interests.clear();
+        self.gradients.clear();
+        self.expl.clear();
+        self.seen_items.clear();
+        self.buffer.clear();
+        self.window.clear();
+        self.flush_timer = None;
+        self.last_seen_source.clear();
+        self.source_tracks.clear();
+        self.suspects.clear();
+        self.last_repair.clear();
+        self.link_failures.clear();
+        self.last_expl = None;
+    }
+
+    fn on_up(&mut self, ctx: &mut Ctx<'_, DiffMsg, DiffTimer>) {
+        if self.role.is_sink {
+            self.originate_interest(ctx);
+        }
+        if self.role.is_source {
+            ctx.set_timer(self.next_generate_delay(ctx.now()), DiffTimer::Generate);
+        }
+        let stagger = ctx.jitter(self.cfg.truncation_window);
+        ctx.set_timer(self.cfg.truncation_window + stagger, DiffTimer::Truncate);
+    }
+
+    fn on_unicast_failed(&mut self, ctx: &mut Ctx<'_, DiffMsg, DiffTimer>, to: NodeId, msg: &DiffMsg) {
+        // The MAC exhausted its retries. One exhausted ARQ can be collision
+        // bad luck under a flood burst; a *second* consecutive failure with
+        // nothing heard from the neighbor in between means the link is dead.
+        let failures = self.link_failures.entry(to).or_insert(0);
+        *failures += 1;
+        if *failures < 2 {
+            return;
+        }
+        let now = ctx.now();
+        self.suspects
+            .insert(to, now + self.cfg.truncation_window.saturating_mul(4));
+        // A failed *data* transmission breaks the tree below us — degrade
+        // the gradient so we stop burning retries into the void; the next
+        // refresh, reinforcement, repair, or exploratory round rebuilds it.
+        if matches!(msg, DiffMsg::Data { .. }) {
+            self.gradients.degrade(to);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roles_compose() {
+        let roles = [Role::SOURCE, Role::SINK, Role::RELAY];
+        let flags: Vec<(bool, bool)> = roles.iter().map(|r| (r.is_source, r.is_sink)).collect();
+        assert_eq!(flags, vec![(true, false), (false, true), (false, false)]);
+    }
+
+    #[test]
+    fn round_is_derived_from_time() {
+        let node = DiffusionNode::new(DiffusionConfig::default(), NodeId(0), Role::SOURCE);
+        // source_start = 5 s, period = 0.5 s.
+        assert_eq!(node.round_at(SimTime::from_secs(5)), 0);
+        assert_eq!(node.round_at(SimTime::from_secs_f64(5.5)), 1);
+        assert_eq!(node.round_at(SimTime::from_secs(55)), 100);
+        // Before the start: round 0.
+        assert_eq!(node.round_at(SimTime::from_secs(1)), 0);
+    }
+
+    #[test]
+    fn next_generate_delay_aligns_to_round_boundaries() {
+        let node = DiffusionNode::new(DiffusionConfig::default(), NodeId(0), Role::SOURCE);
+        // At t = 0 the first event is at source_start.
+        assert_eq!(
+            node.next_generate_delay(SimTime::ZERO),
+            SimDuration::from_secs(5)
+        );
+        // Exactly on a boundary: next boundary is one full period later.
+        assert_eq!(
+            node.next_generate_delay(SimTime::from_secs(5)),
+            SimDuration::from_millis(500)
+        );
+        // Mid-period: the remainder.
+        assert_eq!(
+            node.next_generate_delay(SimTime::from_secs_f64(5.2)),
+            SimDuration::from_millis(300)
+        );
+    }
+
+    #[test]
+    fn expected_sources_respects_window() {
+        let mut node = DiffusionNode::new(DiffusionConfig::default(), NodeId(0), Role::RELAY);
+        node.last_seen_source.insert(NodeId(1), SimTime::from_secs(10));
+        node.last_seen_source.insert(NodeId(2), SimTime::from_secs(5));
+        // Window T_n = 2 s: at t = 11 only source 1 is fresh.
+        assert_eq!(node.expected_sources(SimTime::from_secs(11)), vec![NodeId(1)]);
+        assert_eq!(
+            node.expected_sources(SimTime::from_secs(10)),
+            vec![NodeId(1)]
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Small-sample summary statistics for cross-field averaging.
+
+/// Mean, spread, and range of a sample (the paper averages each data point
+/// over ten generated fields).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes the finite values of a sample; non-finite values (e.g. the
+    /// infinite energy-per-event of a run that delivered nothing) are
+    /// excluded and reported via the reduced `n`.
+    pub fn of(values: impl IntoIterator<Item = f64>) -> Summary {
+        let vals: Vec<f64> = values.into_iter().filter(|v| v.is_finite()).collect();
+        let n = vals.len();
+        if n == 0 {
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let mean = vals.iter().sum::<f64>() / n as f64;
+        let var = if n < 2 {
+            0.0
+        } else {
+            vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        };
+        let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
+    }
+
+    /// Half-width of the ~95% confidence interval for the mean
+    /// (1.96 · s/√n; 0 for n < 2).
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.std_dev / (self.n as f64).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarizes_known_sample() {
+        let s = Summary::of([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample std dev of this classic example is ~2.138.
+        assert!((s.std_dev - 2.13808993).abs() < 1e-6);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn empty_sample_is_zeroes() {
+        let s = Summary::of([]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn single_value_has_no_spread() {
+        let s = Summary::of([3.5]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn non_finite_values_are_excluded() {
+        let s = Summary::of([1.0, f64::INFINITY, 3.0, f64::NAN]);
+        assert_eq!(s.n, 2);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_shrinks_with_n() {
+        let wide = Summary::of([1.0, 5.0]);
+        let narrow = Summary::of([1.0, 5.0, 1.0, 5.0, 1.0, 5.0, 1.0, 5.0]);
+        assert!(narrow.ci95_half_width() < wide.ci95_half_width());
+    }
+}

@@ -1,0 +1,201 @@
+//! Figure-table rendering: fixed-width text and CSV.
+//!
+//! Each paper figure is a family of series over a sweep variable (network
+//! size, number of sinks, number of sources). The bench harness assembles a
+//! [`FigureTable`] and prints it; `EXPERIMENTS.md` records these outputs
+//! against the paper's curves.
+
+use std::fmt::Write as _;
+
+use crate::stats::Summary;
+
+/// One rendered figure: a sweep axis and per-column summarized series.
+#[derive(Debug, Clone)]
+pub struct FigureTable {
+    /// Title, e.g. "Figure 5(a): average dissipated energy".
+    pub title: String,
+    /// Sweep axis label, e.g. "nodes".
+    pub x_label: String,
+    /// Column labels, e.g. ["greedy", "opportunistic"].
+    pub columns: Vec<String>,
+    /// Rows: sweep value plus one summary per column.
+    pub rows: Vec<FigureRow>,
+}
+
+/// One row of a [`FigureTable`].
+#[derive(Debug, Clone)]
+pub struct FigureRow {
+    /// The sweep value (e.g. node count).
+    pub x: f64,
+    /// One summary per column.
+    pub cells: Vec<Summary>,
+}
+
+impl FigureTable {
+    /// Creates an empty table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` is empty.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Self {
+        assert!(!columns.is_empty(), "a figure needs at least one series");
+        FigureTable {
+            title: title.into(),
+            x_label: x_label.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the column count.
+    pub fn push_row(&mut self, x: f64, cells: Vec<Summary>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row has {} cells for {} columns",
+            cells.len(),
+            self.columns.len()
+        );
+        self.rows.push(FigureRow { x, cells });
+    }
+
+    /// Renders as an aligned fixed-width text table with `mean ± std`.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let _ = write!(out, "{:>10}", self.x_label);
+        for c in &self.columns {
+            let _ = write!(out, "  {c:>22}");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            let _ = write!(out, "{:>10}", trim_float(row.x));
+            for cell in &row.cells {
+                let body = if cell.n == 0 {
+                    "—".to_string()
+                } else {
+                    format!("{:.6} ± {:.6}", cell.mean, cell.std_dev)
+                };
+                let _ = write!(out, "  {body:>22}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV: `x,<col> mean,<col> std,...` with a header row.
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", self.x_label);
+        for c in &self.columns {
+            let _ = write!(out, ",{c} mean,{c} std");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            let _ = write!(out, "{}", trim_float(row.x));
+            for cell in &row.cells {
+                let _ = write!(out, ",{},{}", cell.mean, cell.std_dev);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The series for one column as `(x, mean)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `column` names no existing column.
+    pub fn series(&self, column: &str) -> Vec<(f64, f64)> {
+        let idx = self
+            .columns
+            .iter()
+            .position(|c| c == column)
+            .unwrap_or_else(|| panic!("no column named {column:?}"));
+        self.rows.iter().map(|r| (r.x, r.cells[idx].mean)).collect()
+    }
+}
+
+fn trim_float(x: f64) -> String {
+    if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> FigureTable {
+        let mut t = FigureTable::new(
+            "Figure 5(a): average dissipated energy",
+            "nodes",
+            vec!["greedy".into(), "opportunistic".into()],
+        );
+        t.push_row(50.0, vec![Summary::of([0.01, 0.02]), Summary::of([0.015])]);
+        t.push_row(100.0, vec![Summary::of([0.02]), Summary::of([0.03])]);
+        t
+    }
+
+    #[test]
+    fn text_render_contains_everything() {
+        let s = table().render_text();
+        assert!(s.contains("Figure 5(a)"));
+        assert!(s.contains("greedy"));
+        assert!(s.contains("opportunistic"));
+        assert!(s.contains("50"));
+        assert!(s.contains("±"));
+    }
+
+    #[test]
+    fn csv_round_trips_means() {
+        let csv = table().render_csv();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "nodes,greedy mean,greedy std,opportunistic mean,opportunistic std"
+        );
+        let first: Vec<&str> = lines.next().unwrap().split(',').collect();
+        assert_eq!(first[0], "50");
+        assert!((first[1].parse::<f64>().unwrap() - 0.015).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_extracts_column() {
+        let t = table();
+        let s = t.series("opportunistic");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].0, 50.0);
+        assert!((s[1].1 - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cell_renders_dash() {
+        let mut t = FigureTable::new("t", "x", vec!["c".into()]);
+        t.push_row(1.0, vec![Summary::of([])]);
+        assert!(t.render_text().contains('—'));
+    }
+
+    #[test]
+    #[should_panic(expected = "no column named")]
+    fn unknown_series_panics() {
+        table().series("nope");
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn mismatched_row_panics() {
+        let mut t = table();
+        t.push_row(150.0, vec![Summary::of([1.0])]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the metrics pipeline.
+
+use proptest::prelude::*;
+use wsn_metrics::{FigureTable, RunRecord, Summary};
+
+fn records() -> impl Strategy<Value = RunRecord> {
+    (
+        1usize..500,
+        1usize..6,
+        1.0f64..500.0,
+        0.0f64..10_000.0,
+        0u64..5000,
+        0.0f64..5000.0,
+        1u64..5000,
+    )
+        .prop_map(
+            |(nodes, sinks, duration, energy, distinct, delay_sum, generated)| RunRecord {
+                node_count: nodes,
+                sink_count: sinks,
+                duration_s: duration,
+                total_energy_j: energy,
+                activity_energy_j: energy * 0.1,
+                distinct_events: distinct.min(generated * sinks as u64),
+                delay_sum_s: delay_sum,
+                events_generated: generated,
+                tx_frames: 10,
+                tx_bytes: 1000,
+                collisions: 0,
+            },
+        )
+}
+
+proptest! {
+    /// Derived metrics are non-negative; delivery stays in [0, 1] whenever
+    /// the distinct count respects its bound; activity ≤ total.
+    #[test]
+    fn metrics_are_well_formed(r in records()) {
+        let m = r.metrics();
+        prop_assert!(m.avg_delay_s >= 0.0);
+        prop_assert!((0.0..=1.0).contains(&m.delivery_ratio));
+        if r.distinct_events > 0 {
+            prop_assert!(m.avg_dissipated_energy.is_finite());
+            prop_assert!(m.avg_activity_energy <= m.avg_dissipated_energy + 1e-12);
+        } else {
+            prop_assert!(m.avg_dissipated_energy.is_infinite());
+        }
+    }
+
+    /// Metrics scale as expected: doubling delivered events halves the
+    /// energy-per-event metrics.
+    #[test]
+    fn energy_metric_scales_inversely_with_deliveries(mut r in records()) {
+        prop_assume!(r.distinct_events > 0);
+        let m1 = r.metrics();
+        r.distinct_events *= 2;
+        r.events_generated *= 2;
+        let m2 = r.metrics();
+        prop_assert!((m2.avg_dissipated_energy - m1.avg_dissipated_energy / 2.0).abs() < 1e-9);
+    }
+
+    /// Summary statistics: mean lies within [min, max]; std is 0 for
+    /// constant samples; ordering of inputs is irrelevant.
+    #[test]
+    fn summary_is_order_invariant(mut values in prop::collection::vec(-100.0f64..100.0, 1..50)) {
+        let a = Summary::of(values.iter().copied());
+        values.reverse();
+        let b = Summary::of(values.iter().copied());
+        prop_assert!((a.mean - b.mean).abs() < 1e-9);
+        prop_assert!((a.std_dev - b.std_dev).abs() < 1e-9);
+        prop_assert!(a.min <= a.mean + 1e-9 && a.mean <= a.max + 1e-9);
+    }
+
+    #[test]
+    fn constant_samples_have_zero_spread(x in -100.0f64..100.0, n in 1usize..20) {
+        let s = Summary::of(std::iter::repeat_n(x, n));
+        prop_assert_eq!(s.n, n);
+        prop_assert!((s.mean - x).abs() < 1e-12);
+        prop_assert!(s.std_dev.abs() < 1e-9);
+    }
+
+    /// CSV rendering round-trips every mean exactly.
+    #[test]
+    fn csv_preserves_means(
+        rows in prop::collection::vec((0.0f64..1000.0, -50.0f64..50.0, -50.0f64..50.0), 1..12)
+    ) {
+        let mut t = FigureTable::new("t", "x", vec!["a".into(), "b".into()]);
+        for &(x, a, b) in &rows {
+            t.push_row(x, vec![Summary::of([a]), Summary::of([b])]);
+        }
+        let csv = t.render_csv();
+        for (line, &(_, a, b)) in csv.lines().skip(1).zip(rows.iter()) {
+            let cols: Vec<&str> = line.split(',').collect();
+            prop_assert_eq!(cols.len(), 5);
+            let pa: f64 = cols[1].parse().unwrap();
+            let pb: f64 = cols[3].parse().unwrap();
+            prop_assert_eq!(pa.to_bits(), a.to_bits(), "column a corrupted");
+            prop_assert_eq!(pb.to_bits(), b.to_bits(), "column b corrupted");
+        }
+    }
+}

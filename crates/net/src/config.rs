@@ -1,0 +1,148 @@
+//! Physical and MAC layer configuration.
+
+use wsn_sim::SimDuration;
+
+use crate::energy::EnergyModel;
+
+/// Radio + MAC parameters.
+///
+/// Defaults follow the paper's setup: a 1.6 Mbps 802.11-style MAC. Broadcast
+/// frames (which is every frame in directed diffusion) carry no RTS/CTS/ACK,
+/// so the MAC reduces to CSMA/CA: DIFS sensing, slotted random backoff, and
+/// receiver-side collisions. See `DESIGN.md` §3 for the fidelity discussion.
+///
+/// # Examples
+///
+/// ```
+/// use wsn_net::NetConfig;
+///
+/// let cfg = NetConfig::default();
+/// // A 64-byte event at 1.6 Mbps takes 320 µs of payload air time,
+/// // plus the PHY preamble.
+/// let d = cfg.tx_duration(64);
+/// assert_eq!(d.as_nanos(), 192_000 + 320_000);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetConfig {
+    /// Channel bit rate, bits per second (paper: 1.6 Mbps).
+    pub bitrate_bps: u64,
+    /// Fixed PHY preamble + header air time per frame (802.11 DSSS long
+    /// preamble: 192 µs).
+    pub preamble: SimDuration,
+    /// MAC slot time for backoff (802.11 DSSS: 20 µs).
+    pub slot: SimDuration,
+    /// DIFS — the minimum idle period sensed before transmitting (50 µs).
+    pub difs: SimDuration,
+    /// Initial contention window in slots; backoff draws uniformly from
+    /// `[0, cw)`. Doubles per retransmission (802.11 exponential backoff)
+    /// up to [`NetConfig::cw_max_slots`].
+    pub cw_slots: u64,
+    /// Maximum contention window (802.11: 1024 slots).
+    pub cw_max_slots: u64,
+    /// SIFS — the short gap before an ACK frame (10 µs).
+    pub sifs: SimDuration,
+    /// Size of a MAC-level ACK frame (802.11: 14 bytes).
+    pub ack_bytes: u32,
+    /// Link-layer retransmission limit for unicast frames (802.11 short
+    /// retry limit: 7). Broadcast frames are never acknowledged or retried.
+    pub retry_limit: u32,
+    /// Exchange RTS/CTS before every unicast data frame (ns-2's default for
+    /// its 802.11 model). Adds two control frames per unicast — more
+    /// per-transmission overhead, fewer hidden-terminal data collisions.
+    /// Off by default; the `mac_overhead` ablation measures its effect.
+    pub rts_cts: bool,
+    /// RTS frame size (802.11: 20 bytes).
+    pub rts_bytes: u32,
+    /// CTS frame size (802.11: 14 bytes).
+    pub cts_bytes: u32,
+    /// Radio power model.
+    pub energy: EnergyModel,
+}
+
+impl NetConfig {
+    /// Air time of a frame of `bytes` payload bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured bit rate is zero.
+    pub fn tx_duration(&self, bytes: u32) -> SimDuration {
+        assert!(self.bitrate_bps > 0, "bitrate must be positive");
+        let bits = u64::from(bytes) * 8;
+        // nanoseconds = bits / (bits/s) * 1e9, computed in integer math.
+        let payload_ns = bits * 1_000_000_000 / self.bitrate_bps;
+        self.preamble + SimDuration::from_nanos(payload_ns)
+    }
+
+    /// How long a unicast sender waits for an ACK after its transmission
+    /// ends before retrying: SIFS + ACK air time + a few slots of slack.
+    pub fn ack_timeout(&self) -> SimDuration {
+        self.sifs + self.tx_duration(self.ack_bytes) + self.slot.saturating_mul(4)
+    }
+
+    /// How long an RTS sender waits for the CTS before retrying.
+    pub fn cts_timeout(&self) -> SimDuration {
+        self.sifs + self.tx_duration(self.cts_bytes) + self.slot.saturating_mul(4)
+    }
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            bitrate_bps: 1_600_000,
+            preamble: SimDuration::from_micros(192),
+            slot: SimDuration::from_micros(20),
+            difs: SimDuration::from_micros(50),
+            cw_slots: 32,
+            cw_max_slots: 1024,
+            sifs: SimDuration::from_micros(10),
+            ack_bytes: 14,
+            retry_limit: 7,
+            rts_cts: false,
+            rts_bytes: 20,
+            cts_bytes: 14,
+            energy: EnergyModel::PAPER,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_packet_air_times() {
+        let cfg = NetConfig::default();
+        // 64-byte event: 512 bits / 1.6 Mbps = 320 µs.
+        assert_eq!(cfg.tx_duration(64).as_nanos(), 192_000 + 320_000);
+        // 36-byte control message: 288 bits / 1.6 Mbps = 180 µs.
+        assert_eq!(cfg.tx_duration(36).as_nanos(), 192_000 + 180_000);
+    }
+
+    #[test]
+    fn zero_byte_frame_is_preamble_only() {
+        let cfg = NetConfig::default();
+        assert_eq!(cfg.tx_duration(0), cfg.preamble);
+    }
+
+    #[test]
+    fn ack_timeout_covers_ack_air_time() {
+        let cfg = NetConfig::default();
+        let arrival = cfg.sifs + cfg.tx_duration(cfg.ack_bytes);
+        assert!(cfg.ack_timeout() > arrival, "timeout must outlast the ACK");
+    }
+
+    #[test]
+    fn cts_timeout_covers_cts_air_time() {
+        let cfg = NetConfig::default();
+        assert!(cfg.cts_timeout() > cfg.sifs + cfg.tx_duration(cfg.cts_bytes));
+        assert!(!cfg.rts_cts, "RTS/CTS is opt-in");
+    }
+
+    #[test]
+    fn duration_scales_linearly() {
+        let cfg = NetConfig::default();
+        let one = cfg.tx_duration(100).as_nanos() - cfg.preamble.as_nanos();
+        let two = cfg.tx_duration(200).as_nanos() - cfg.preamble.as_nanos();
+        assert_eq!(two, 2 * one);
+    }
+}

@@ -1,0 +1,928 @@
+//! The packet-level network engine.
+//!
+//! Glues the simulation kernel to the wireless substrate:
+//!
+//! * **CSMA/CA MAC** — a node with a queued frame waits DIFS plus a uniform
+//!   backoff of `[0, cw)` slots, senses the medium, and transmits if idle
+//!   (re-drawing the backoff otherwise).
+//! * **Link-layer ARQ** — logically unicast frames are acknowledged by the
+//!   addressed receiver after SIFS and retransmitted (fresh contention) up to
+//!   the retry limit, as in 802.11; broadcast frames get neither ACKs nor
+//!   retries.
+//! * **Receiver-side collisions** — a reception is corrupted when it overlaps
+//!   any other audible transmission at that receiver (including the classic
+//!   hidden-terminal case) or when the receiver itself starts transmitting.
+//! * **Energy** — each node's meter integrates idle/rx/tx power over time;
+//!   hearing *any* transmission costs receive power (promiscuous radio), and
+//!   failed nodes draw nothing.
+//! * **Failures** — nodes can be scheduled down/up; a down node loses its MAC
+//!   queue, in-flight receptions, pending retransmissions, and all pending
+//!   protocol timers.
+
+use std::collections::{HashSet, VecDeque};
+use std::rc::Rc;
+
+use wsn_sim::{EventId, SimDuration, SimRng, SimTime, Simulator};
+
+use crate::config::NetConfig;
+use crate::energy::{EnergyMeter, RadioState};
+use crate::node::NodeId;
+use crate::packet::{Packet, TxId};
+use crate::protocol::{Ctx, Protocol, TimerHandle};
+use crate::topology::Topology;
+
+/// RNG stream labels (see [`SimRng::from_seed_stream`]).
+const STREAM_MAC: u64 = 0x004D_4143;
+const STREAM_PROTO: u64 = 0x0050_524F_544F;
+
+/// Engine events.
+#[derive(Debug)]
+enum Ev<T> {
+    /// A node's MAC backoff expired; sense the medium and maybe transmit.
+    BackoffDone { node: NodeId },
+    /// A transmission completed; finalize receptions at every hearer.
+    TxEnd { node: NodeId, tx: TxId },
+    /// The addressed receiver of a unicast frame owes an ACK (SIFS later).
+    AckDue { node: NodeId, acked: TxId, to: NodeId },
+    /// The addressed receiver of an RTS owes a CTS (SIFS later).
+    CtsDue { node: NodeId, to: NodeId },
+    /// A CTS arrived; the sender transmits its data frame (SIFS later).
+    DataDue { node: NodeId },
+    /// A unicast sender's ACK (or CTS) wait expired; retry or give up.
+    AckTimeout { node: NodeId, tx: TxId },
+    /// A protocol timer fired.
+    Timer { node: NodeId, timer: T },
+    /// Scheduled node failure.
+    NodeDown { node: NodeId },
+    /// Scheduled node recovery.
+    NodeUp { node: NodeId },
+}
+
+/// What a transmission carries.
+#[derive(Debug)]
+enum Frame<M> {
+    /// A protocol frame.
+    Payload(Rc<Packet<M>>),
+    /// A MAC-level acknowledgement for transmission `acked`, addressed to
+    /// `to` (the original sender).
+    Ack { acked: TxId, to: NodeId },
+    /// Request to send, addressed to `to`.
+    Rts { to: NodeId },
+    /// Clear to send, addressed to `to` (the RTS sender).
+    Cts { to: NodeId },
+}
+
+impl<M> Clone for Frame<M> {
+    fn clone(&self) -> Self {
+        match self {
+            Frame::Payload(p) => Frame::Payload(Rc::clone(p)),
+            Frame::Ack { acked, to } => Frame::Ack {
+                acked: *acked,
+                to: *to,
+            },
+            Frame::Rts { to } => Frame::Rts { to: *to },
+            Frame::Cts { to } => Frame::Cts { to: *to },
+        }
+    }
+}
+
+/// An in-progress reception at one hearer.
+#[derive(Debug)]
+struct RxEntry<M> {
+    tx: TxId,
+    frame: Frame<M>,
+    corrupted: bool,
+}
+
+/// A queued payload frame with its retransmission count.
+#[derive(Debug)]
+struct QueuedFrame<M> {
+    packet: Packet<M>,
+    retries: u32,
+}
+
+/// Which response the unicast sender is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AwaitPhase {
+    /// Sent an RTS, waiting for the CTS.
+    Cts,
+    /// CTS received; the data frame fires after SIFS.
+    DataTurnaround,
+    /// Sent the data frame, waiting for the ACK.
+    Ack,
+}
+
+/// A unicast handshake in progress at the sender.
+#[derive(Debug)]
+struct Awaiting<M> {
+    tx: TxId,
+    queued: QueuedFrame<M>,
+    timer: EventId,
+    phase: AwaitPhase,
+}
+
+/// Per-node transmit/receive counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Frames this node put on the air (payload frames; ACKs are counted in
+    /// [`NodeStats::acks_sent`]).
+    pub tx_frames: u64,
+    /// Payload bytes this node put on the air.
+    pub tx_bytes: u64,
+    /// Payload frames decoded successfully (before logical-destination
+    /// filtering).
+    pub rx_ok: u64,
+    /// Receptions lost to collisions.
+    pub rx_corrupted: u64,
+    /// Frames dropped because the node was down when they were queued.
+    pub dropped_down: u64,
+    /// Unicast retransmissions performed.
+    pub tx_retries: u64,
+    /// Unicast frames abandoned after the retry limit.
+    pub tx_failed: u64,
+    /// MAC acknowledgements transmitted.
+    pub acks_sent: u64,
+    /// RTS frames transmitted (only with [`NetConfig::rts_cts`]).
+    pub rts_sent: u64,
+    /// CTS frames transmitted.
+    pub cts_sent: u64,
+}
+
+/// Aggregate physical-layer statistics for a run.
+#[derive(Debug, Clone, Default)]
+pub struct NetStats {
+    per_node: Vec<NodeStats>,
+    /// Total corrupted receptions (a collision at k hearers counts k times).
+    pub collisions: u64,
+}
+
+impl NetStats {
+    /// Counters for one node.
+    pub fn node(&self, node: NodeId) -> &NodeStats {
+        &self.per_node[node.index()]
+    }
+
+    /// Iterates over all per-node counters.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &NodeStats)> {
+        self.per_node
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (NodeId::from_index(i), s))
+    }
+
+    /// Total payload frames transmitted across all nodes (excludes ACKs).
+    pub fn total_tx_frames(&self) -> u64 {
+        self.per_node.iter().map(|s| s.tx_frames).sum()
+    }
+
+    /// Total payload bytes transmitted across all nodes.
+    pub fn total_tx_bytes(&self) -> u64 {
+        self.per_node.iter().map(|s| s.tx_bytes).sum()
+    }
+
+    /// Total unicast retransmissions.
+    pub fn total_retries(&self) -> u64 {
+        self.per_node.iter().map(|s| s.tx_retries).sum()
+    }
+
+    /// Total unicast frames abandoned after the retry limit.
+    pub fn total_failed(&self) -> u64 {
+        self.per_node.iter().map(|s| s.tx_failed).sum()
+    }
+}
+
+/// Per-node MAC and radio state.
+#[derive(Debug)]
+struct NodeCore<M> {
+    up: bool,
+    meter: EnergyMeter,
+    queue: VecDeque<QueuedFrame<M>>,
+    backoff_ev: Option<EventId>,
+    transmitting: Option<TxId>,
+    /// The frame currently on the air (present iff `transmitting` is).
+    in_flight: Option<Frame<M>>,
+    /// The unicast handshake in progress, if any.
+    awaiting: Option<Awaiting<M>>,
+    /// Number of in-range transmissions currently on the air (carrier sense).
+    busy_count: u32,
+    active_rx: Vec<RxEntry<M>>,
+    mac_rng: SimRng,
+    /// Live protocol-timer event ids, dropped wholesale when the node fails.
+    timers: HashSet<EventId>,
+}
+
+/// Everything the engine owns except the protocol instances.
+///
+/// Splitting the protocols (`Vec<P>`) from this core is what lets a protocol
+/// callback receive `&mut EngineCore` (via [`Ctx`]) while the engine holds
+/// `&mut P` — a plain split borrow, no `RefCell`.
+#[derive(Debug)]
+pub struct EngineCore<M, T> {
+    sim: Simulator<Ev<T>>,
+    topo: Topology,
+    cfg: NetConfig,
+    nodes: Vec<NodeCore<M>>,
+    proto_rngs: Vec<SimRng>,
+    stats: NetStats,
+    next_tx: u64,
+}
+
+impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> EngineCore<M, T> {
+    fn new(topo: Topology, cfg: NetConfig, seed: u64) -> Self {
+        let n = topo.len();
+        let now = SimTime::ZERO;
+        let nodes = (0..n)
+            .map(|i| NodeCore {
+                up: true,
+                meter: EnergyMeter::new(cfg.energy, now),
+                queue: VecDeque::new(),
+                backoff_ev: None,
+                transmitting: None,
+                in_flight: None,
+                awaiting: None,
+                busy_count: 0,
+                active_rx: Vec::new(),
+                mac_rng: SimRng::derive(seed, STREAM_MAC, i as u64),
+                timers: HashSet::new(),
+            })
+            .collect();
+        let proto_rngs = (0..n)
+            .map(|i| SimRng::derive(seed, STREAM_PROTO, i as u64))
+            .collect();
+        EngineCore {
+            sim: Simulator::new(),
+            topo,
+            cfg,
+            nodes,
+            proto_rngs,
+            stats: NetStats {
+                per_node: vec![NodeStats::default(); n],
+                collisions: 0,
+            },
+            next_tx: 0,
+        }
+    }
+
+    pub(crate) fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    pub(crate) fn protocol_rng(&mut self, node: NodeId) -> &mut SimRng {
+        &mut self.proto_rngs[node.index()]
+    }
+
+    pub(crate) fn set_timer(&mut self, node: NodeId, delay: SimDuration, timer: T) -> TimerHandle {
+        let id = self.sim.schedule_after(delay, Ev::Timer { node, timer });
+        self.nodes[node.index()].timers.insert(id);
+        TimerHandle(id)
+    }
+
+    pub(crate) fn cancel_timer(&mut self, node: NodeId, handle: TimerHandle) -> bool {
+        self.nodes[node.index()].timers.remove(&handle.0) && self.sim.cancel(handle.0)
+    }
+
+    /// Queues a frame at `node`'s MAC.
+    pub(crate) fn enqueue(&mut self, node: NodeId, packet: Packet<M>) {
+        let i = node.index();
+        if !self.nodes[i].up {
+            self.stats.per_node[i].dropped_down += 1;
+            return;
+        }
+        self.nodes[i].queue.push_back(QueuedFrame { packet, retries: 0 });
+        self.mac_try_start(i);
+    }
+
+    /// Schedules a fresh DIFS + backoff if the MAC is idle with work queued.
+    fn mac_try_start(&mut self, i: usize) {
+        let node = &mut self.nodes[i];
+        if !node.up
+            || node.transmitting.is_some()
+            || node.backoff_ev.is_some()
+            || node.awaiting.is_some()
+            || node.queue.is_empty()
+        {
+            return;
+        }
+        // 802.11 exponential backoff: the window doubles per retransmission
+        // of the head frame, capped at CWmax — this is what decorrelates
+        // hidden terminals whose attempts keep colliding.
+        let retries = node.queue.front().map_or(0, |q| q.retries);
+        let cw = (self.cfg.cw_slots << retries.min(16))
+            .min(self.cfg.cw_max_slots)
+            .max(1);
+        let slots = node.mac_rng.below(cw);
+        let delay = self.cfg.difs + self.cfg.slot.saturating_mul(slots);
+        let id = self.sim.schedule_after(
+            delay,
+            Ev::BackoffDone {
+                node: NodeId::from_index(i),
+            },
+        );
+        self.nodes[i].backoff_ev = Some(id);
+    }
+
+    fn on_backoff_done(&mut self, i: usize) {
+        self.nodes[i].backoff_ev = None;
+        if !self.nodes[i].up || self.nodes[i].transmitting.is_some() {
+            // An ACK may have seized the radio meanwhile; the queued frame
+            // is retried when that transmission ends.
+            return;
+        }
+        if self.nodes[i].busy_count > 0 {
+            // Medium busy: persistent CSMA, re-draw the backoff.
+            self.mac_try_start(i);
+            return;
+        }
+        let Some(queued) = self.nodes[i].queue.pop_front() else {
+            return;
+        };
+        let me = NodeId::from_index(i);
+        match queued.packet.dst {
+            Some(dst) if self.cfg.rts_cts => {
+                // Unicast with handshake: RTS first, data after the CTS.
+                let tx = self.start_frame(i, Frame::Rts { to: dst }, self.cfg.rts_bytes);
+                self.stats.per_node[i].rts_sent += 1;
+                let timer = self.sim.schedule_after(
+                    self.cfg.tx_duration(self.cfg.rts_bytes) + self.cfg.cts_timeout(),
+                    Ev::AckTimeout { node: me, tx },
+                );
+                self.nodes[i].awaiting = Some(Awaiting {
+                    tx,
+                    queued,
+                    timer,
+                    phase: AwaitPhase::Cts,
+                });
+            }
+            Some(_) => {
+                let bytes = queued.packet.bytes;
+                let frame = Frame::Payload(Rc::new(queued.packet.clone()));
+                let tx = self.start_frame(i, frame, bytes);
+                self.stats.per_node[i].tx_frames += 1;
+                self.stats.per_node[i].tx_bytes += u64::from(bytes);
+                let timer = self.sim.schedule_after(
+                    self.cfg.tx_duration(bytes) + self.cfg.ack_timeout(),
+                    Ev::AckTimeout { node: me, tx },
+                );
+                self.nodes[i].awaiting = Some(Awaiting {
+                    tx,
+                    queued,
+                    timer,
+                    phase: AwaitPhase::Ack,
+                });
+            }
+            None => {
+                let bytes = queued.packet.bytes;
+                let frame = Frame::Payload(Rc::new(queued.packet.clone()));
+                self.start_frame(i, frame, bytes);
+                self.stats.per_node[i].tx_frames += 1;
+                self.stats.per_node[i].tx_bytes += u64::from(bytes);
+            }
+        }
+    }
+
+    /// The CTS arrived: transmit the queued data frame (SIFS turnaround has
+    /// elapsed) and arm the ACK wait. Returns the abandoned packet if the
+    /// turnaround had to fall back to a retry that exhausted the limit.
+    fn on_data_due(&mut self, i: usize) -> Option<Packet<M>> {
+        let node = &self.nodes[i];
+        if !node.up {
+            return None;
+        }
+        let ready = node
+            .awaiting
+            .as_ref()
+            .is_some_and(|a| a.phase == AwaitPhase::DataTurnaround);
+        if !ready {
+            return None;
+        }
+        if node.transmitting.is_some() {
+            // Radio seized (we owed someone an ACK): fall back to a retry.
+            let a = self.nodes[i].awaiting.take().expect("checked above");
+            return self.requeue_or_fail_inner(i, a.queued, None);
+        }
+        let mut a = self.nodes[i].awaiting.take().expect("checked above");
+        let bytes = a.queued.packet.bytes;
+        let frame = Frame::Payload(Rc::new(a.queued.packet.clone()));
+        let tx = self.start_frame(i, frame, bytes);
+        self.stats.per_node[i].tx_frames += 1;
+        self.stats.per_node[i].tx_bytes += u64::from(bytes);
+        a.tx = tx;
+        a.phase = AwaitPhase::Ack;
+        a.timer = self.sim.schedule_after(
+            self.cfg.tx_duration(bytes) + self.cfg.ack_timeout(),
+            Ev::AckTimeout {
+                node: NodeId::from_index(i),
+                tx,
+            },
+        );
+        self.nodes[i].awaiting = Some(a);
+        None
+    }
+
+    /// Retry bookkeeping shared by CTS/ACK timeouts and turnaround aborts.
+    /// Returns the abandoned packet when the retry limit is exhausted.
+    fn requeue_or_fail_inner(
+        &mut self,
+        i: usize,
+        mut queued: QueuedFrame<M>,
+        _ctx: Option<()>,
+    ) -> Option<Packet<M>> {
+        let mut failed = None;
+        if queued.retries < self.cfg.retry_limit {
+            queued.retries += 1;
+            self.stats.per_node[i].tx_retries += 1;
+            self.nodes[i].queue.push_front(queued);
+        } else {
+            self.stats.per_node[i].tx_failed += 1;
+            failed = Some(queued.packet);
+        }
+        self.mac_try_start(i);
+        failed
+    }
+
+    /// Puts `frame` on the air from node `i`: updates carrier sense and
+    /// reception state at every hearer and schedules the `TxEnd`.
+    fn start_frame(&mut self, i: usize, frame: Frame<M>, bytes: u32) -> TxId {
+        let now = self.sim.now();
+        let tx = TxId(self.next_tx);
+        self.next_tx += 1;
+        let node = &mut self.nodes[i];
+        debug_assert!(node.transmitting.is_none(), "radio already busy");
+        node.transmitting = Some(tx);
+        node.in_flight = Some(frame.clone());
+        // Half-duplex: anything we were receiving is lost.
+        for rx in &mut node.active_rx {
+            if !rx.corrupted {
+                rx.corrupted = true;
+                self.stats.collisions += 1;
+            }
+        }
+        self.update_meter(i, now);
+
+        let sender = NodeId::from_index(i);
+        let neighbors: Vec<NodeId> = self.topo.neighbors(sender).to_vec();
+        for v in neighbors {
+            let vi = v.index();
+            let vn = &mut self.nodes[vi];
+            vn.busy_count += 1;
+            if vn.up && vn.transmitting.is_none() {
+                // Overlap with any ongoing reception corrupts everything.
+                let corrupted = !vn.active_rx.is_empty();
+                if corrupted {
+                    for rx in &mut vn.active_rx {
+                        if !rx.corrupted {
+                            rx.corrupted = true;
+                            self.stats.collisions += 1;
+                        }
+                    }
+                    self.stats.collisions += 1;
+                }
+                vn.active_rx.push(RxEntry {
+                    tx,
+                    frame: frame.clone(),
+                    corrupted,
+                });
+            }
+            self.update_meter(vi, now);
+        }
+        let duration = self.cfg.tx_duration(bytes);
+        self.sim
+            .schedule_after(duration, Ev::TxEnd { node: sender, tx });
+        tx
+    }
+
+    /// Finalizes a transmission; returns successful payload deliveries for
+    /// protocol dispatch by the caller.
+    fn on_tx_end(&mut self, i: usize, tx: TxId) -> Vec<(NodeId, Rc<Packet<M>>)> {
+        let now = self.sim.now();
+        debug_assert_eq!(self.nodes[i].transmitting, Some(tx), "TxEnd out of order");
+        self.nodes[i].transmitting = None;
+        let frame = self.nodes[i].in_flight.take().expect("frame in flight");
+        self.update_meter(i, now);
+
+        let sender = NodeId::from_index(i);
+        let mut deliveries = Vec::new();
+        let mut acked_senders: Vec<usize> = Vec::new();
+        let mut cts_receivers: Vec<usize> = Vec::new();
+        let neighbors: Vec<NodeId> = self.topo.neighbors(sender).to_vec();
+        for v in neighbors {
+            let vi = v.index();
+            let vn = &mut self.nodes[vi];
+            debug_assert!(vn.busy_count > 0, "busy count underflow at {v}");
+            vn.busy_count -= 1;
+            if let Some(pos) = vn.active_rx.iter().position(|r| r.tx == tx) {
+                let entry = vn.active_rx.swap_remove(pos);
+                if entry.corrupted {
+                    self.stats.per_node[vi].rx_corrupted += 1;
+                } else if vn.up {
+                    match &entry.frame {
+                        Frame::Payload(pkt) => {
+                            self.stats.per_node[vi].rx_ok += 1;
+                            if pkt.dst == Some(v) {
+                                // Addressed unicast: deliver and owe an ACK.
+                                deliveries.push((v, Rc::clone(pkt)));
+                                self.sim.schedule_after(
+                                    self.cfg.sifs,
+                                    Ev::AckDue {
+                                        node: v,
+                                        acked: tx,
+                                        to: sender,
+                                    },
+                                );
+                            } else if pkt.dst.is_none() {
+                                deliveries.push((v, Rc::clone(pkt)));
+                            }
+                        }
+                        Frame::Ack { acked, to } => {
+                            if *to == v
+                                && vn
+                                    .awaiting
+                                    .as_ref()
+                                    .is_some_and(|a| a.tx == *acked && a.phase == AwaitPhase::Ack)
+                            {
+                                acked_senders.push(vi);
+                            }
+                        }
+                        Frame::Rts { to } => {
+                            if *to == v {
+                                self.sim.schedule_after(
+                                    self.cfg.sifs,
+                                    Ev::CtsDue { node: v, to: sender },
+                                );
+                            }
+                        }
+                        Frame::Cts { to } => {
+                            if *to == v
+                                && vn
+                                    .awaiting
+                                    .as_ref()
+                                    .is_some_and(|a| a.phase == AwaitPhase::Cts)
+                            {
+                                cts_receivers.push(vi);
+                            }
+                        }
+                    }
+                }
+            }
+            self.update_meter(vi, now);
+        }
+        for vi in acked_senders {
+            let a = self.nodes[vi].awaiting.take().expect("just matched");
+            self.sim.cancel(a.timer);
+            self.mac_try_start(vi);
+        }
+        for vi in cts_receivers {
+            // Transition to the data turnaround; the data frame fires after
+            // SIFS via DataDue.
+            let a = self.nodes[vi].awaiting.as_mut().expect("just matched");
+            self.sim.cancel(a.timer);
+            a.phase = AwaitPhase::DataTurnaround;
+            self.sim.schedule_after(
+                self.cfg.sifs,
+                Ev::DataDue {
+                    node: NodeId::from_index(vi),
+                },
+            );
+        }
+        // The sender moves on unless it is waiting for an ACK (the wait was
+        // armed when the frame started).
+        let _ = frame;
+        self.mac_try_start(i);
+        deliveries
+    }
+
+    fn on_ack_due(&mut self, i: usize, acked: TxId, to: NodeId) {
+        let node = &self.nodes[i];
+        if !node.up || node.transmitting.is_some() {
+            return; // cannot ACK right now; the sender will retry
+        }
+        self.start_frame(i, Frame::Ack { acked, to }, self.cfg.ack_bytes);
+        self.stats.per_node[i].acks_sent += 1;
+    }
+
+    fn on_cts_due(&mut self, i: usize, to: NodeId) {
+        let node = &self.nodes[i];
+        if !node.up || node.transmitting.is_some() {
+            return; // cannot answer; the RTS sender times out and retries
+        }
+        self.start_frame(i, Frame::Cts { to }, self.cfg.cts_bytes);
+        self.stats.per_node[i].cts_sent += 1;
+    }
+
+    /// Returns the abandoned packet when the retry limit is exhausted, so
+    /// the caller can notify the protocol of the dead link. Handles both
+    /// CTS and ACK waits (the timer always carries the tx it guards).
+    fn on_ack_timeout(&mut self, i: usize, tx: TxId) -> Option<Packet<M>> {
+        let matches = self.nodes[i]
+            .awaiting
+            .as_ref()
+            .is_some_and(|a| a.tx == tx && a.phase != AwaitPhase::DataTurnaround);
+        if !matches {
+            return None; // already answered (or state cleared by a failure)
+        }
+        let a = self.nodes[i].awaiting.take().expect("just matched");
+        self.requeue_or_fail_inner(i, a.queued, None)
+    }
+
+    fn apply_down(&mut self, i: usize) -> bool {
+        if !self.nodes[i].up {
+            return false;
+        }
+        let now = self.sim.now();
+        // A radio dying mid-transmission cuts the signal: every in-progress
+        // reception of that frame fails its checksum. (The carrier-sense
+        // bookkeeping still releases at the scheduled TxEnd — a slight
+        // overestimate of busy time, never of delivery.)
+        if let Some(tx) = self.nodes[i].transmitting {
+            let me = NodeId::from_index(i);
+            let neighbors: Vec<NodeId> = self.topo.neighbors(me).to_vec();
+            for v in neighbors {
+                for rx in &mut self.nodes[v.index()].active_rx {
+                    if rx.tx == tx && !rx.corrupted {
+                        rx.corrupted = true;
+                        self.stats.collisions += 1;
+                    }
+                }
+            }
+        }
+        let node = &mut self.nodes[i];
+        node.up = false;
+        node.queue.clear();
+        node.active_rx.clear();
+        if let Some(ev) = node.backoff_ev.take() {
+            self.sim.cancel(ev);
+        }
+        if let Some(a) = node.awaiting.take() {
+            self.sim.cancel(a.timer);
+        }
+        let timers: Vec<EventId> = self.nodes[i].timers.drain().collect();
+        for t in timers {
+            self.sim.cancel(t);
+        }
+        self.update_meter(i, now);
+        true
+    }
+
+    fn apply_up(&mut self, i: usize) -> bool {
+        if self.nodes[i].up {
+            return false;
+        }
+        let now = self.sim.now();
+        self.nodes[i].up = true;
+        self.update_meter(i, now);
+        true
+    }
+
+    /// Recomputes the radio state after any bookkeeping change.
+    fn update_meter(&mut self, i: usize, now: SimTime) {
+        let node = &mut self.nodes[i];
+        let state = if !node.up {
+            RadioState::Off
+        } else if node.transmitting.is_some() {
+            RadioState::Transmitting
+        } else if node.busy_count > 0 {
+            RadioState::Receiving
+        } else {
+            RadioState::Idle
+        };
+        node.meter.set_state(state, now);
+    }
+
+    /// Removes a fired timer from the node's live set; `false` means the
+    /// timer belongs to a node that failed since it was armed (drop it).
+    fn take_timer(&mut self, node: NodeId, id: EventId) -> bool {
+        self.nodes[node.index()].timers.remove(&id) && self.nodes[node.index()].up
+    }
+}
+
+/// A simulated wireless sensor network running protocol `P` on every node.
+///
+/// # Examples
+///
+/// A two-node network where node 0 floods a greeting once:
+///
+/// ```
+/// use wsn_net::{Ctx, NetConfig, Network, NodeId, Packet, Position, Protocol, Topology};
+/// use wsn_sim::{SimDuration, SimTime};
+///
+/// struct Hello {
+///     is_origin: bool,
+///     heard: usize,
+/// }
+///
+/// impl Protocol for Hello {
+///     type Msg = &'static str;
+///     type Timer = ();
+///
+///     fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>) {
+///         if self.is_origin {
+///             ctx.broadcast(36, "hello");
+///         }
+///     }
+///     fn on_packet(&mut self, _ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, p: &Packet<Self::Msg>) {
+///         assert_eq!(p.payload, "hello");
+///         self.heard += 1;
+///     }
+///     fn on_timer(&mut self, _ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, _t: ()) {}
+/// }
+///
+/// let topo = Topology::new(vec![Position::new(0.0, 0.0), Position::new(10.0, 0.0)], 40.0);
+/// let mut net = Network::new(topo, NetConfig::default(), 42, |id| Hello {
+///     is_origin: id == NodeId(0),
+///     heard: 0,
+/// });
+/// net.run_until(SimTime::from_secs(1));
+/// assert_eq!(net.protocol(NodeId(1)).heard, 1);
+/// ```
+#[derive(Debug)]
+pub struct Network<P: Protocol> {
+    core: EngineCore<P::Msg, P::Timer>,
+    protocols: Vec<P>,
+    started: bool,
+}
+
+impl<P: Protocol> Network<P> {
+    /// Builds a network over `topo`, constructing one protocol instance per
+    /// node with `make`. Protocols' `on_start` runs at the first
+    /// [`run_until`](Network::run_until) call, at time zero.
+    pub fn new(topo: Topology, cfg: NetConfig, seed: u64, mut make: impl FnMut(NodeId) -> P) -> Self {
+        let n = topo.len();
+        let core = EngineCore::new(topo, cfg, seed);
+        let protocols = (0..n).map(|i| make(NodeId::from_index(i))).collect();
+        Network {
+            core,
+            protocols,
+            started: false,
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.now()
+    }
+
+    /// The network topology.
+    pub fn topology(&self) -> &Topology {
+        &self.core.topo
+    }
+
+    /// Physical-layer statistics accumulated so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.core.stats
+    }
+
+    /// Energy dissipated by `node` up to the current time, joules.
+    pub fn energy(&self, node: NodeId) -> f64 {
+        self.core.nodes[node.index()].meter.dissipated_at(self.core.now())
+    }
+
+    /// Communication (transmit + receive) energy dissipated by `node`,
+    /// joules.
+    pub fn activity_energy(&self, node: NodeId) -> f64 {
+        self.core.nodes[node.index()].meter.activity_at(self.core.now())
+    }
+
+    /// Total energy dissipated by all nodes, joules.
+    pub fn total_energy(&self) -> f64 {
+        let now = self.core.now();
+        self.core.nodes.iter().map(|n| n.meter.dissipated_at(now)).sum()
+    }
+
+    /// Total communication (transmit + receive) energy across all nodes,
+    /// joules — excludes the scheme-independent idle floor.
+    pub fn total_activity_energy(&self) -> f64 {
+        let now = self.core.now();
+        self.core.nodes.iter().map(|n| n.meter.activity_at(now)).sum()
+    }
+
+    /// Whether `node` is currently powered.
+    pub fn is_up(&self, node: NodeId) -> bool {
+        self.core.nodes[node.index()].up
+    }
+
+    /// Read access to a node's protocol instance.
+    pub fn protocol(&self, node: NodeId) -> &P {
+        &self.protocols[node.index()]
+    }
+
+    /// Iterates over all `(node, protocol)` pairs.
+    pub fn protocols(&self) -> impl Iterator<Item = (NodeId, &P)> {
+        self.protocols
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (NodeId::from_index(i), p))
+    }
+
+    /// Schedules `node` to fail at time `at`. Idempotent if already down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_down(&mut self, at: SimTime, node: NodeId) {
+        self.core
+            .sim
+            .schedule_at(at, Ev::NodeDown { node })
+            .expect("schedule_down in the past");
+    }
+
+    /// Schedules `node` to recover at time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_up(&mut self, at: SimTime, node: NodeId) {
+        self.core
+            .sim
+            .schedule_at(at, Ev::NodeUp { node })
+            .expect("schedule_up in the past");
+    }
+
+    /// Runs the simulation until simulated time `deadline`.
+    ///
+    /// Events scheduled exactly at the deadline fire; the clock ends at
+    /// `deadline` even if the event queue drains early.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        if !self.started {
+            self.started = true;
+            for i in 0..self.protocols.len() {
+                let node = NodeId::from_index(i);
+                let mut ctx = Ctx {
+                    core: &mut self.core,
+                    node,
+                };
+                self.protocols[i].on_start(&mut ctx);
+            }
+        }
+        loop {
+            let Some((id, ev)) = self.core.sim.step_until(deadline) else {
+                break;
+            };
+            self.dispatch(id, ev);
+        }
+    }
+
+    fn dispatch(&mut self, id: EventId, ev: Ev<P::Timer>) {
+        match ev {
+            Ev::BackoffDone { node } => self.core.on_backoff_done(node.index()),
+            Ev::TxEnd { node, tx } => {
+                let deliveries = self.core.on_tx_end(node.index(), tx);
+                for (v, packet) in deliveries {
+                    let mut ctx = Ctx {
+                        core: &mut self.core,
+                        node: v,
+                    };
+                    self.protocols[v.index()].on_packet(&mut ctx, &packet);
+                }
+            }
+            Ev::AckDue { node, acked, to } => self.core.on_ack_due(node.index(), acked, to),
+            Ev::CtsDue { node, to } => self.core.on_cts_due(node.index(), to),
+            Ev::DataDue { node } => {
+                if let Some(packet) = self.core.on_data_due(node.index()) {
+                    let to = packet.dst.expect("only unicasts use the handshake");
+                    let mut ctx = Ctx {
+                        core: &mut self.core,
+                        node,
+                    };
+                    self.protocols[node.index()].on_unicast_failed(&mut ctx, to, &packet.payload);
+                }
+            }
+            Ev::AckTimeout { node, tx } => {
+                if let Some(packet) = self.core.on_ack_timeout(node.index(), tx) {
+                    let to = packet.dst.expect("only unicasts await ACKs");
+                    let mut ctx = Ctx {
+                        core: &mut self.core,
+                        node,
+                    };
+                    self.protocols[node.index()].on_unicast_failed(&mut ctx, to, &packet.payload);
+                }
+            }
+            Ev::Timer { node, timer } => {
+                if self.core.take_timer(node, id) {
+                    let mut ctx = Ctx {
+                        core: &mut self.core,
+                        node,
+                    };
+                    self.protocols[node.index()].on_timer(&mut ctx, timer);
+                }
+            }
+            Ev::NodeDown { node } => {
+                if self.core.apply_down(node.index()) {
+                    let mut ctx = Ctx {
+                        core: &mut self.core,
+                        node,
+                    };
+                    self.protocols[node.index()].on_down(&mut ctx);
+                }
+            }
+            Ev::NodeUp { node } => {
+                if self.core.apply_up(node.index()) {
+                    let mut ctx = Ctx {
+                        core: &mut self.core,
+                        node,
+                    };
+                    self.protocols[node.index()].on_up(&mut ctx);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! # wsn-net — packet-level wireless sensor network substrate
+//!
+//! The network layer under the directed-diffusion protocols: node placement
+//! ([`Position`], [`Rect`]), disc-model connectivity ([`Topology`]), a
+//! CSMA/CA broadcast MAC with receiver-side collisions, a three-state radio
+//! energy meter matching the paper's WINS-NG-style power figures
+//! ([`EnergyModel::PAPER`]: idle 35 mW / rx 395 mW / tx 660 mW at 1.6 Mbps),
+//! and scheduled node failures.
+//!
+//! Protocols implement the [`Protocol`] trait and run one instance per node
+//! inside a [`Network`]; see the `wsn-diffusion` crate for the directed
+//! diffusion implementation this substrate exists to host.
+//!
+//! # Examples
+//!
+//! ```
+//! use wsn_net::{NetConfig, Position, Topology};
+//!
+//! // The paper's physical layer: 40 m radios in a 200 m field.
+//! let topo = Topology::new(
+//!     vec![Position::new(0.0, 0.0), Position::new(35.0, 0.0)],
+//!     40.0,
+//! );
+//! assert!(topo.is_connected());
+//!
+//! // A 64-byte event occupies the channel for 512 µs (320 µs payload at
+//! // 1.6 Mbps plus the 192 µs PHY preamble).
+//! let cfg = NetConfig::default();
+//! assert_eq!(cfg.tx_duration(64).as_nanos(), 512_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod energy;
+mod engine;
+mod node;
+mod packet;
+mod position;
+mod protocol;
+mod topology;
+
+pub use config::NetConfig;
+pub use energy::{EnergyMeter, EnergyModel, RadioState};
+pub use engine::{EngineCore, NetStats, Network, NodeStats};
+pub use node::NodeId;
+pub use packet::{Packet, TxId};
+pub use position::{Position, Rect};
+pub use protocol::{Ctx, Protocol, TimerHandle};
+pub use topology::Topology;

@@ -1,0 +1,59 @@
+//! Node identity.
+
+use std::fmt;
+
+/// Index of a node in the sensor field.
+///
+/// Directed diffusion famously does not require globally unique *addresses* —
+/// nodes only distinguish neighbors — but the simulator still needs a handle
+/// for each simulated node; `NodeId` is that handle.
+///
+/// # Examples
+///
+/// ```
+/// use wsn_net::NodeId;
+///
+/// let id = NodeId(3);
+/// assert_eq!(id.index(), 3);
+/// assert_eq!(id.to_string(), "n3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index into per-node vectors.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates an id from a vector index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32"))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_index() {
+        assert_eq!(NodeId::from_index(7).index(), 7);
+        assert_eq!(NodeId::from_index(0), NodeId(0));
+    }
+
+    #[test]
+    fn orders_by_index() {
+        assert!(NodeId(1) < NodeId(2));
+    }
+}

@@ -1,0 +1,204 @@
+//! Planar geometry for sensor fields: positions and rectangular regions.
+
+use std::fmt;
+
+use wsn_sim::SimRng;
+
+/// A point in the sensor field, in meters.
+///
+/// # Examples
+///
+/// ```
+/// use wsn_net::Position;
+///
+/// let a = Position::new(0.0, 0.0);
+/// let b = Position::new(3.0, 4.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Position {
+    /// X coordinate, meters.
+    pub x: f64,
+    /// Y coordinate, meters.
+    pub y: f64,
+}
+
+impl Position {
+    /// Creates a position from coordinates in meters.
+    pub fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to `other`, in meters.
+    pub fn distance(self, other: Position) -> f64 {
+        self.distance_squared(other).sqrt()
+    }
+
+    /// Squared Euclidean distance (avoids the square root in range tests).
+    pub fn distance_squared(self, other: Position) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1}m, {:.1}m)", self.x, self.y)
+    }
+}
+
+/// An axis-aligned rectangle, used for placement regions (the paper places
+/// sources in an 80 m × 80 m square at the bottom-left corner of the field
+/// and the sink in a 36 m × 36 m square at the top-right).
+///
+/// # Examples
+///
+/// ```
+/// use wsn_net::{Position, Rect};
+///
+/// let field = Rect::square(200.0);
+/// assert!(field.contains(Position::new(100.0, 100.0)));
+/// assert!(!field.contains(Position::new(201.0, 0.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Minimum X, meters.
+    pub x0: f64,
+    /// Minimum Y, meters.
+    pub y0: f64,
+    /// Maximum X, meters.
+    pub x1: f64,
+    /// Maximum Y, meters.
+    pub y1: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from its minimum corner and extent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is negative or not finite.
+    pub fn new(x0: f64, y0: f64, width: f64, height: f64) -> Self {
+        assert!(
+            width.is_finite() && height.is_finite() && width >= 0.0 && height >= 0.0,
+            "invalid rectangle extent {width} x {height}"
+        );
+        Rect {
+            x0,
+            y0,
+            x1: x0 + width,
+            y1: y0 + height,
+        }
+    }
+
+    /// A square with its minimum corner at the origin.
+    pub fn square(side: f64) -> Self {
+        Rect::new(0.0, 0.0, side, side)
+    }
+
+    /// The width in meters.
+    pub fn width(&self) -> f64 {
+        self.x1 - self.x0
+    }
+
+    /// The height in meters.
+    pub fn height(&self) -> f64 {
+        self.y1 - self.y0
+    }
+
+    /// Whether `p` lies inside the rectangle (inclusive of edges).
+    pub fn contains(&self, p: Position) -> bool {
+        p.x >= self.x0 && p.x <= self.x1 && p.y >= self.y0 && p.y <= self.y1
+    }
+
+    /// Draws a uniformly distributed point inside the rectangle.
+    pub fn sample(&self, rng: &mut SimRng) -> Position {
+        Position::new(
+            if self.width() > 0.0 { rng.range_f64(self.x0, self.x1) } else { self.x0 },
+            if self.height() > 0.0 { rng.range_f64(self.y0, self.y1) } else { self.y0 },
+        )
+    }
+
+    /// The sub-rectangle of given size anchored at this rectangle's
+    /// bottom-left corner (the paper's source region).
+    pub fn bottom_left(&self, width: f64, height: f64) -> Rect {
+        Rect::new(self.x0, self.y0, width.min(self.width()), height.min(self.height()))
+    }
+
+    /// The sub-rectangle of given size anchored at this rectangle's
+    /// top-right corner (the paper's sink region).
+    pub fn top_right(&self, width: f64, height: f64) -> Rect {
+        let w = width.min(self.width());
+        let h = height.min(self.height());
+        Rect::new(self.x1 - w, self.y1 - h, w, h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Position::new(1.0, 2.0);
+        let b = Position::new(4.0, 6.0);
+        assert!((a.distance(b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.distance_squared(b), 25.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Position::new(-3.0, 7.5);
+        let b = Position::new(12.0, -1.0);
+        assert_eq!(a.distance(b), b.distance(a));
+    }
+
+    #[test]
+    fn rect_contains_edges() {
+        let r = Rect::new(0.0, 0.0, 10.0, 5.0);
+        assert!(r.contains(Position::new(0.0, 0.0)));
+        assert!(r.contains(Position::new(10.0, 5.0)));
+        assert!(!r.contains(Position::new(10.01, 5.0)));
+    }
+
+    #[test]
+    fn sample_stays_inside() {
+        let r = Rect::new(5.0, 5.0, 20.0, 30.0);
+        let mut rng = SimRng::from_seed_stream(1, 0);
+        for _ in 0..1000 {
+            assert!(r.contains(r.sample(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn sample_degenerate_rect_is_corner() {
+        let r = Rect::new(3.0, 4.0, 0.0, 0.0);
+        let mut rng = SimRng::from_seed_stream(1, 0);
+        assert_eq!(r.sample(&mut rng), Position::new(3.0, 4.0));
+    }
+
+    #[test]
+    fn corner_regions_match_paper_layout() {
+        let field = Rect::square(200.0);
+        let sources = field.bottom_left(80.0, 80.0);
+        let sink = field.top_right(36.0, 36.0);
+        assert_eq!((sources.x0, sources.y0, sources.x1, sources.y1), (0.0, 0.0, 80.0, 80.0));
+        assert_eq!((sink.x0, sink.y0, sink.x1, sink.y1), (164.0, 164.0, 200.0, 200.0));
+    }
+
+    #[test]
+    fn corner_regions_clamp_to_field() {
+        let field = Rect::square(50.0);
+        let sources = field.bottom_left(80.0, 80.0);
+        assert_eq!(sources.width(), 50.0);
+        let sink = field.top_right(80.0, 80.0);
+        assert_eq!((sink.x0, sink.y0), (0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rectangle")]
+    fn negative_extent_panics() {
+        let _ = Rect::new(0.0, 0.0, -1.0, 1.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! The interface between the network engine and a protocol implementation.
+//!
+//! Protocols are per-node state machines. They never hold references into the
+//! engine; every callback receives a [`Ctx`] through which the protocol can
+//! send packets, arm and cancel timers, read the clock, and draw
+//! deterministic per-node randomness. This command-pattern split keeps
+//! protocols unit-testable (drive them with a scripted `Ctx`-free harness)
+//! and keeps the engine free of interior mutability.
+
+use wsn_sim::{EventId, SimDuration, SimRng, SimTime};
+
+use crate::engine::EngineCore;
+use crate::node::NodeId;
+use crate::packet::Packet;
+
+/// Handle to a pending protocol timer, used for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerHandle(pub(crate) EventId);
+
+/// A per-node protocol state machine.
+///
+/// Implementations receive callbacks from the [`Network`](crate::Network)
+/// engine:
+///
+/// * [`on_start`](Protocol::on_start) once at time zero,
+/// * [`on_packet`](Protocol::on_packet) for every successfully decoded frame
+///   addressed to this node (or broadcast),
+/// * [`on_timer`](Protocol::on_timer) when a timer set through the context
+///   fires,
+/// * [`on_down`](Protocol::on_down) / [`on_up`](Protocol::on_up) around node
+///   failures. While a node is down the engine delivers nothing and drops all
+///   of its pending timers; protocols typically re-arm from scratch in
+///   `on_up`.
+pub trait Protocol: Sized {
+    /// The message type carried in packets.
+    type Msg: Clone + std::fmt::Debug;
+    /// The timer label type.
+    type Timer: Clone + std::fmt::Debug;
+
+    /// Called once when the simulation starts (time zero).
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>);
+
+    /// Called when a frame is received and decoded.
+    fn on_packet(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, packet: &Packet<Self::Msg>);
+
+    /// Called when a timer previously set via [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>, timer: Self::Timer);
+
+    /// Called when the node fails. Default: no-op.
+    fn on_down(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>) {
+        let _ = ctx;
+    }
+
+    /// Called when the node recovers. Default: no-op.
+    fn on_up(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Timer>) {
+        let _ = ctx;
+    }
+
+    /// Called when a unicast frame to `to` was abandoned after the MAC's
+    /// retry limit — the 802.11-style link-breakage signal routing layers
+    /// use to detect dead next hops. Default: no-op.
+    fn on_unicast_failed(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Msg, Self::Timer>,
+        to: NodeId,
+        msg: &Self::Msg,
+    ) {
+        let _ = (ctx, to, msg);
+    }
+}
+
+/// The protocol's window into the engine during a callback.
+#[derive(Debug)]
+pub struct Ctx<'a, M, T> {
+    pub(crate) core: &'a mut EngineCore<M, T>,
+    pub(crate) node: NodeId,
+}
+
+impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> Ctx<'_, M, T> {
+    /// The node this callback runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.now()
+    }
+
+    /// Queues a broadcast frame of `bytes` bytes for transmission.
+    ///
+    /// The frame goes through CSMA/CA; delivery to each in-range, powered
+    /// neighbor happens after the air time unless a collision corrupts it.
+    pub fn broadcast(&mut self, bytes: u32, msg: M) {
+        let pkt = Packet::broadcast(self.node, bytes, msg);
+        self.core.enqueue(self.node, pkt);
+    }
+
+    /// Queues a logically unicast frame to `to`.
+    ///
+    /// Physically still a broadcast: every in-range node pays receive energy,
+    /// but only `to`'s protocol sees the packet.
+    pub fn unicast(&mut self, to: NodeId, bytes: u32, msg: M) {
+        let pkt = Packet::unicast(self.node, to, bytes, msg);
+        self.core.enqueue(self.node, pkt);
+    }
+
+    /// Arms a timer that fires `delay` from now with the given label.
+    pub fn set_timer(&mut self, delay: SimDuration, timer: T) -> TimerHandle {
+        self.core.set_timer(self.node, delay, timer)
+    }
+
+    /// Cancels a pending timer. Returns `false` if it already fired or was
+    /// already cancelled.
+    pub fn cancel_timer(&mut self, handle: TimerHandle) -> bool {
+        self.core.cancel_timer(self.node, handle)
+    }
+
+    /// This node's deterministic protocol RNG stream.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.core.protocol_rng(self.node)
+    }
+
+    /// A uniformly random jitter in `[0, max)` — the standard trick for
+    /// de-synchronizing flood rebroadcasts.
+    pub fn jitter(&mut self, max: SimDuration) -> SimDuration {
+        if max.is_zero() {
+            return SimDuration::ZERO;
+        }
+        let ns = self.core.protocol_rng(self.node).below(max.as_nanos());
+        SimDuration::from_nanos(ns)
+    }
+}

@@ -1,0 +1,281 @@
+//! Static connectivity derived from node positions and radio range.
+//!
+//! The paper's radios have a fixed 40 m range in a 200 m × 200 m field; two
+//! nodes are neighbors iff they are within range (the unit-disc model, as in
+//! the ns-2 two-ray model with a fixed threshold). The [`Topology`] computes
+//! and caches the neighbor lists once per field.
+
+use crate::node::NodeId;
+use crate::position::Position;
+
+/// Immutable connectivity of a sensor field.
+///
+/// # Examples
+///
+/// ```
+/// use wsn_net::{NodeId, Position, Topology};
+///
+/// let topo = Topology::new(
+///     vec![
+///         Position::new(0.0, 0.0),
+///         Position::new(30.0, 0.0),
+///         Position::new(100.0, 0.0),
+///     ],
+///     40.0,
+/// );
+/// assert!(topo.are_neighbors(NodeId(0), NodeId(1)));
+/// assert!(!topo.are_neighbors(NodeId(0), NodeId(2)));
+/// assert_eq!(topo.neighbors(NodeId(0)), &[NodeId(1)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Topology {
+    positions: Vec<Position>,
+    range_m: f64,
+    neighbors: Vec<Vec<NodeId>>,
+}
+
+impl Topology {
+    /// Computes the disc-model topology for `positions` with the given radio
+    /// range in meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range_m` is not positive and finite.
+    pub fn new(positions: Vec<Position>, range_m: f64) -> Self {
+        assert!(
+            range_m.is_finite() && range_m > 0.0,
+            "radio range must be positive, got {range_m}"
+        );
+        let n = positions.len();
+        let range_sq = range_m * range_m;
+        let mut neighbors = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if positions[i].distance_squared(positions[j]) <= range_sq {
+                    neighbors[i].push(NodeId(j as u32));
+                    neighbors[j].push(NodeId(i as u32));
+                }
+            }
+        }
+        Topology {
+            positions,
+            range_m,
+            neighbors,
+        }
+    }
+
+    /// The number of nodes.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the field is empty.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The radio range, meters.
+    pub fn range_m(&self) -> f64 {
+        self.range_m
+    }
+
+    /// The position of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn position(&self, node: NodeId) -> Position {
+        self.positions[node.index()]
+    }
+
+    /// All node positions, indexed by [`NodeId`].
+    pub fn positions(&self) -> &[Position] {
+        &self.positions
+    }
+
+    /// The in-range neighbors of a node (excluding the node itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.neighbors[node.index()]
+    }
+
+    /// Whether two distinct nodes are within radio range.
+    pub fn are_neighbors(&self, a: NodeId, b: NodeId) -> bool {
+        a != b
+            && self.positions[a.index()].distance_squared(self.positions[b.index()])
+                <= self.range_m * self.range_m
+    }
+
+    /// The mean number of neighbors per node — the paper's "radio density"
+    /// (6 to 43 neighbors across its seven field sizes).
+    pub fn average_degree(&self) -> f64 {
+        if self.positions.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.neighbors.iter().map(Vec::len).sum();
+        total as f64 / self.positions.len() as f64
+    }
+
+    /// Whether the field is a single connected component (over all nodes).
+    pub fn is_connected(&self) -> bool {
+        self.is_connected_over(|_| true)
+    }
+
+    /// Whether the nodes selected by `alive` form a single connected
+    /// component. Nodes for which `alive` returns `false` are ignored
+    /// entirely (they neither need to be reached nor relay).
+    pub fn is_connected_over(&self, alive: impl Fn(NodeId) -> bool) -> bool {
+        let n = self.positions.len();
+        let Some(start) = (0..n).map(|i| NodeId(i as u32)).find(|&id| alive(id)) else {
+            return true; // vacuously connected
+        };
+        let mut seen = vec![false; n];
+        let mut stack = vec![start];
+        seen[start.index()] = true;
+        let mut reached = 1;
+        while let Some(u) = stack.pop() {
+            for &v in &self.neighbors[u.index()] {
+                if alive(v) && !seen[v.index()] {
+                    seen[v.index()] = true;
+                    reached += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        let alive_total = (0..n).filter(|&i| alive(NodeId(i as u32))).count();
+        reached == alive_total
+    }
+
+    /// Minimum hop count from `from` to `to` over all nodes (BFS), or `None`
+    /// if unreachable. Useful for scenario sanity checks and tree baselines.
+    pub fn hop_distance(&self, from: NodeId, to: NodeId) -> Option<u32> {
+        if from == to {
+            return Some(0);
+        }
+        let n = self.positions.len();
+        let mut dist = vec![u32::MAX; n];
+        dist[from.index()] = 0;
+        let mut queue = std::collections::VecDeque::from([from]);
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.neighbors[u.index()] {
+                if dist[v.index()] == u32::MAX {
+                    dist[v.index()] = dist[u.index()] + 1;
+                    if v == to {
+                        return Some(dist[v.index()]);
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize, spacing: f64) -> Vec<Position> {
+        (0..n).map(|i| Position::new(i as f64 * spacing, 0.0)).collect()
+    }
+
+    #[test]
+    fn neighbors_are_symmetric_and_irreflexive() {
+        let topo = Topology::new(line(5, 30.0), 40.0);
+        for i in 0..5 {
+            let id = NodeId(i);
+            assert!(!topo.neighbors(id).contains(&id));
+            for &nb in topo.neighbors(id) {
+                assert!(topo.neighbors(nb).contains(&id));
+            }
+        }
+    }
+
+    #[test]
+    fn line_topology_has_expected_degree() {
+        let topo = Topology::new(line(5, 30.0), 40.0);
+        // 30 m spacing, 40 m range: each interior node hears both neighbors.
+        assert_eq!(topo.neighbors(NodeId(0)).len(), 1);
+        assert_eq!(topo.neighbors(NodeId(2)).len(), 2);
+        assert!((topo.average_degree() - 8.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_is_inclusive() {
+        let topo = Topology::new(vec![Position::new(0.0, 0.0), Position::new(40.0, 0.0)], 40.0);
+        assert!(topo.are_neighbors(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn connectivity_detects_partition() {
+        let connected = Topology::new(line(4, 30.0), 40.0);
+        assert!(connected.is_connected());
+        let split = Topology::new(
+            vec![
+                Position::new(0.0, 0.0),
+                Position::new(30.0, 0.0),
+                Position::new(150.0, 0.0),
+            ],
+            40.0,
+        );
+        assert!(!split.is_connected());
+    }
+
+    #[test]
+    fn connectivity_over_alive_subset() {
+        let topo = Topology::new(line(3, 30.0), 40.0);
+        // Killing the middle node disconnects the ends.
+        assert!(!topo.is_connected_over(|id| id != NodeId(1)));
+        // Killing an end leaves the rest connected.
+        assert!(topo.is_connected_over(|id| id != NodeId(0)));
+    }
+
+    #[test]
+    fn empty_and_singleton_are_connected() {
+        assert!(Topology::new(vec![], 40.0).is_connected());
+        assert!(Topology::new(vec![Position::new(0.0, 0.0)], 40.0).is_connected());
+        assert!(Topology::new(line(3, 30.0), 40.0).is_connected_over(|_| false));
+    }
+
+    #[test]
+    fn hop_distance_counts_hops() {
+        let topo = Topology::new(line(5, 30.0), 40.0);
+        assert_eq!(topo.hop_distance(NodeId(0), NodeId(4)), Some(4));
+        assert_eq!(topo.hop_distance(NodeId(2), NodeId(2)), Some(0));
+    }
+
+    #[test]
+    fn hop_distance_unreachable_is_none() {
+        let topo = Topology::new(
+            vec![Position::new(0.0, 0.0), Position::new(100.0, 0.0)],
+            40.0,
+        );
+        assert_eq!(topo.hop_distance(NodeId(0), NodeId(1)), None);
+    }
+
+    #[test]
+    fn paper_density_formula_holds_approximately() {
+        // Uniform random field: expected degree ≈ (N-1)·π r² / A. With
+        // N = 200 in a 200 m square and r = 40 m the paper's interpolation
+        // gives ≈ 25 neighbors; allow a wide tolerance for edge effects.
+        let mut rng = wsn_sim::SimRng::from_seed_stream(7, 0);
+        let field = crate::position::Rect::square(200.0);
+        let positions: Vec<Position> = (0..200).map(|_| field.sample(&mut rng)).collect();
+        let topo = Topology::new(positions, 40.0);
+        let expected = 199.0 * std::f64::consts::PI * 40.0 * 40.0 / (200.0 * 200.0);
+        let measured = topo.average_degree();
+        assert!(
+            (measured - expected).abs() < expected * 0.35,
+            "degree {measured} too far from {expected}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "radio range")]
+    fn zero_range_panics() {
+        let _ = Topology::new(vec![], 0.0);
+    }
+}

@@ -1,0 +1,299 @@
+//! Edge-case tests of the network engine's MAC/ARQ/failure machinery.
+
+use wsn_net::{Ctx, NetConfig, Network, NodeId, Packet, Position, Protocol, Topology};
+use wsn_sim::{SimDuration, SimTime};
+
+/// Minimal scripted protocol (see `engine_properties.rs` for the generic
+/// one); here each instance also records failure callbacks.
+#[derive(Debug, Default)]
+struct Probe {
+    sends: Vec<(SimDuration, Option<NodeId>, u32)>,
+    received: Vec<(NodeId, u32)>,
+    failed_unicasts: Vec<(NodeId, u32)>,
+    downs: u32,
+    ups: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Cmd(Option<NodeId>, u32);
+
+impl Protocol for Probe {
+    type Msg = u32;
+    type Timer = Cmd;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u32, Cmd>) {
+        for &(d, dst, p) in &self.sends {
+            ctx.set_timer(d, Cmd(dst, p));
+        }
+    }
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_, u32, Cmd>, packet: &Packet<u32>) {
+        self.received.push((packet.from, packet.payload));
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, u32, Cmd>, t: Cmd) {
+        match t.0 {
+            None => ctx.broadcast(64, t.1),
+            Some(d) => ctx.unicast(d, 64, t.1),
+        }
+    }
+    fn on_down(&mut self, _ctx: &mut Ctx<'_, u32, Cmd>) {
+        self.downs += 1;
+    }
+    fn on_up(&mut self, _ctx: &mut Ctx<'_, u32, Cmd>) {
+        self.ups += 1;
+    }
+    fn on_unicast_failed(&mut self, _ctx: &mut Ctx<'_, u32, Cmd>, to: NodeId, msg: &u32) {
+        self.failed_unicasts.push((to, *msg));
+    }
+}
+
+fn pair() -> Topology {
+    Topology::new(vec![Position::new(0.0, 0.0), Position::new(30.0, 0.0)], 40.0)
+}
+
+fn ms(v: u64) -> SimDuration {
+    SimDuration::from_millis(v)
+}
+
+#[test]
+fn failure_callback_reports_destination_and_payload() {
+    let mut net = Network::new(pair(), NetConfig::default(), 1, |id| {
+        let mut p = Probe::default();
+        if id == NodeId(0) {
+            p.sends.push((ms(100), Some(NodeId(1)), 77));
+        }
+        p
+    });
+    net.schedule_down(SimTime::from_nanos(1), NodeId(1));
+    net.run_until(SimTime::from_secs(2));
+    assert_eq!(net.protocol(NodeId(0)).failed_unicasts, vec![(NodeId(1), 77)]);
+}
+
+#[test]
+fn down_up_callbacks_fire_once_per_transition() {
+    let mut net = Network::new(pair(), NetConfig::default(), 2, |_| Probe::default());
+    net.schedule_down(SimTime::from_secs(1), NodeId(0));
+    net.schedule_down(SimTime::from_secs(2), NodeId(0)); // redundant
+    net.schedule_up(SimTime::from_secs(3), NodeId(0));
+    net.schedule_up(SimTime::from_secs(4), NodeId(0)); // redundant
+    net.schedule_down(SimTime::from_secs(5), NodeId(0));
+    net.schedule_up(SimTime::from_secs(6), NodeId(0));
+    net.run_until(SimTime::from_secs(10));
+    let p = net.protocol(NodeId(0));
+    assert_eq!(p.downs, 2);
+    assert_eq!(p.ups, 2);
+}
+
+#[test]
+fn node_down_mid_transmission_still_clears_the_air() {
+    // Node 0 starts a long broadcast and dies before TxEnd; node 1 must not
+    // deliver it, and the medium bookkeeping must recover (node 1 can
+    // transmit afterwards).
+    let mut net = Network::new(pair(), NetConfig::default(), 3, |id| {
+        let mut p = Probe::default();
+        if id == NodeId(0) {
+            p.sends.push((ms(10), None, 1));
+        }
+        if id == NodeId(1) {
+            p.sends.push((ms(500), None, 2));
+        }
+        p
+    });
+    // The frame occupies the air somewhere in [10.05 ms, 11.2 ms]
+    // (DIFS + 0..31 slots + 512 µs); killing the sender at 10.3 ms either
+    // aborts the in-flight frame or clears it from the queue unsent —
+    // in no case may it be delivered.
+    net.schedule_down(SimTime::from_nanos(10_300_000), NodeId(0));
+    net.run_until(SimTime::from_secs(1));
+    // Node 1 heard nothing decodable from node 0...
+    assert!(net.protocol(NodeId(1)).received.is_empty());
+    // ...but node 0 (down) also heard nothing from node 1's later broadcast.
+    assert!(net.protocol(NodeId(0)).received.is_empty());
+    // Node 1 did transmit (the medium was not stuck busy).
+    assert_eq!(net.stats().node(NodeId(1)).tx_frames, 1);
+}
+
+#[test]
+fn timers_do_not_survive_failure() {
+    // Node 0 schedules a send for t = 2 s but dies at t = 1 s and recovers
+    // at t = 3 s: the send must never happen.
+    let mut net = Network::new(pair(), NetConfig::default(), 4, |id| {
+        let mut p = Probe::default();
+        if id == NodeId(0) {
+            p.sends.push((SimDuration::from_secs(2), None, 9));
+        }
+        p
+    });
+    net.schedule_down(SimTime::from_secs(1), NodeId(0));
+    net.schedule_up(SimTime::from_secs(3), NodeId(0));
+    net.run_until(SimTime::from_secs(5));
+    assert_eq!(net.stats().node(NodeId(0)).tx_frames, 0);
+    assert!(net.protocol(NodeId(1)).received.is_empty());
+}
+
+#[test]
+fn back_to_back_unicasts_all_deliver_in_order() {
+    let n = 20u32;
+    let mut net = Network::new(pair(), NetConfig::default(), 5, |id| {
+        let mut p = Probe::default();
+        if id == NodeId(0) {
+            for i in 0..n {
+                p.sends.push((ms(10), Some(NodeId(1)), i));
+            }
+        }
+        p
+    });
+    net.run_until(SimTime::from_secs(2));
+    let received: Vec<u32> = net
+        .protocol(NodeId(1))
+        .received
+        .iter()
+        .map(|&(_, p)| p)
+        .collect();
+    // A clean channel: every frame ACKed first try, FIFO order preserved.
+    assert_eq!(received, (0..n).collect::<Vec<u32>>());
+    assert_eq!(net.stats().node(NodeId(0)).tx_retries, 0);
+    assert_eq!(net.stats().node(NodeId(1)).acks_sent, u64::from(n));
+}
+
+#[test]
+fn energy_accounts_for_ack_frames() {
+    // One unicast: the receiver transmits an ACK, so its energy exceeds a
+    // node that only received.
+    let topo = Topology::new(
+        vec![
+            Position::new(0.0, 0.0),  // sender
+            Position::new(30.0, 0.0), // destination (ACKs)
+            Position::new(0.0, 30.0), // bystander (hears everything, sends nothing)
+        ],
+        40.0,
+    );
+    let mut net = Network::new(topo, NetConfig::default(), 6, |id| {
+        let mut p = Probe::default();
+        if id == NodeId(0) {
+            p.sends.push((ms(10), Some(NodeId(1)), 1));
+        }
+        p
+    });
+    net.run_until(SimTime::from_secs(1));
+    let dest = net.energy(NodeId(1));
+    let bystander = net.energy(NodeId(2));
+    assert!(
+        dest > bystander,
+        "destination ({dest}) should out-spend the bystander ({bystander}) by the ACK"
+    );
+}
+
+#[test]
+fn zero_neighbor_node_sends_into_the_void() {
+    let topo = Topology::new(
+        vec![Position::new(0.0, 0.0), Position::new(500.0, 0.0)],
+        40.0,
+    );
+    let mut net = Network::new(topo, NetConfig::default(), 7, |id| {
+        let mut p = Probe::default();
+        if id == NodeId(0) {
+            p.sends.push((ms(10), None, 1)); // broadcast: fire and forget
+            p.sends.push((ms(20), Some(NodeId(1)), 2)); // unicast: retries then fails
+        }
+        p
+    });
+    net.run_until(SimTime::from_secs(3));
+    let s = net.stats().node(NodeId(0));
+    assert_eq!(s.tx_frames, 2 + u64::from(NetConfig::default().retry_limit));
+    assert_eq!(s.tx_failed, 1);
+    assert_eq!(net.protocol(NodeId(0)).failed_unicasts.len(), 1);
+    assert!(net.protocol(NodeId(1)).received.is_empty());
+}
+
+fn rts_config() -> NetConfig {
+    NetConfig {
+        rts_cts: true,
+        ..NetConfig::default()
+    }
+}
+
+#[test]
+fn rts_cts_handshake_delivers_unicast() {
+    let mut net = Network::new(pair(), rts_config(), 8, |id| {
+        let mut p = Probe::default();
+        if id == NodeId(0) {
+            p.sends.push((ms(10), Some(NodeId(1)), 42));
+        }
+        p
+    });
+    net.run_until(SimTime::from_secs(1));
+    assert_eq!(net.protocol(NodeId(1)).received, vec![(NodeId(0), 42)]);
+    let s0 = net.stats().node(NodeId(0));
+    let s1 = net.stats().node(NodeId(1));
+    assert_eq!(s0.rts_sent, 1);
+    assert_eq!(s1.cts_sent, 1);
+    assert_eq!(s0.tx_frames, 1, "one data frame");
+    assert_eq!(s1.acks_sent, 1);
+    assert_eq!(s0.tx_retries, 0);
+}
+
+#[test]
+fn rts_cts_broadcasts_skip_the_handshake() {
+    let mut net = Network::new(pair(), rts_config(), 9, |id| {
+        let mut p = Probe::default();
+        if id == NodeId(0) {
+            p.sends.push((ms(10), None, 7));
+        }
+        p
+    });
+    net.run_until(SimTime::from_secs(1));
+    assert_eq!(net.protocol(NodeId(1)).received.len(), 1);
+    assert_eq!(net.stats().node(NodeId(0)).rts_sent, 0);
+    assert_eq!(net.stats().node(NodeId(1)).cts_sent, 0);
+}
+
+#[test]
+fn rts_to_dead_node_retries_and_reports_failure() {
+    let mut net = Network::new(pair(), rts_config(), 10, |id| {
+        let mut p = Probe::default();
+        if id == NodeId(0) {
+            p.sends.push((ms(100), Some(NodeId(1)), 5));
+        }
+        p
+    });
+    net.schedule_down(SimTime::from_nanos(1), NodeId(1));
+    net.run_until(SimTime::from_secs(3));
+    let s = net.stats().node(NodeId(0));
+    // Every attempt is an RTS that goes unanswered; no data frame ever flies.
+    assert_eq!(s.rts_sent, 1 + u64::from(rts_config().retry_limit));
+    assert_eq!(s.tx_frames, 0);
+    assert_eq!(s.tx_failed, 1);
+    assert_eq!(net.protocol(NodeId(0)).failed_unicasts, vec![(NodeId(1), 5)]);
+}
+
+#[test]
+fn rts_cts_handles_hidden_terminals() {
+    // The scenario RTS/CTS exists for: 0 and 2 both unicast to 1.
+    let mut net = Network::new(line(3), rts_config(), 11, |id| {
+        let mut p = Probe::default();
+        if id == NodeId(0) {
+            p.sends.push((ms(50), Some(NodeId(1)), 10));
+        }
+        if id == NodeId(2) {
+            p.sends.push((ms(50), Some(NodeId(1)), 20));
+        }
+        p
+    });
+    net.run_until(SimTime::from_secs(2));
+    let mut payloads: Vec<u32> = net
+        .protocol(NodeId(1))
+        .received
+        .iter()
+        .map(|&(_, p)| p)
+        .collect();
+    payloads.sort_unstable();
+    payloads.dedup();
+    assert_eq!(payloads, vec![10, 20]);
+}
+
+fn line(n: usize) -> Topology {
+    Topology::new(
+        (0..n).map(|i| Position::new(i as f64 * 30.0, 0.0)).collect(),
+        40.0,
+    )
+}

@@ -1,0 +1,284 @@
+//! The rolling node-failure schedule (paper §5.3).
+//!
+//! "For each sensor field, we repeatedly turned off 20% of nodes for 30
+//! seconds. These nodes were uniformly chosen from the sensor field. [...]
+//! At any instant, 20% of the nodes in the network are unusable.
+//! Furthermore, we do not permit any settling time between node failures."
+//!
+//! Sources and sinks are excluded from failures by default: failing the
+//! measurement endpoints would measure the workload generator, not the
+//! dissemination protocol (documented interpretation — see `DESIGN.md`).
+
+use std::collections::HashSet;
+
+use wsn_net::NodeId;
+use wsn_sim::{SimDuration, SimRng, SimTime};
+
+/// One scheduled failure or recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureEvent {
+    /// When it happens.
+    pub at: SimTime,
+    /// Which node.
+    pub node: NodeId,
+    /// `true` = node goes down, `false` = node comes back up.
+    pub down: bool,
+}
+
+/// Failure-model parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureConfig {
+    /// Fraction of nodes down at any instant (paper: 0.2).
+    pub fraction: f64,
+    /// How long each batch stays down (paper: 30 s).
+    pub period: SimDuration,
+    /// When failures begin.
+    pub start: SimTime,
+}
+
+impl Default for FailureConfig {
+    fn default() -> Self {
+        FailureConfig {
+            fraction: 0.2,
+            period: SimDuration::from_secs(30),
+            start: SimTime::from_secs(10),
+        }
+    }
+}
+
+/// Generates the rolling schedule over `[cfg.start, end)`: every `period`, a
+/// fresh uniformly chosen batch of `fraction·n` eligible nodes goes down for
+/// one period; the previous batch comes back at the same instant (no
+/// settling time).
+///
+/// Events are ordered by time with recoveries before failures at the same
+/// instant, so a node picked in consecutive batches stays down.
+///
+/// # Panics
+///
+/// Panics if `fraction` is outside `[0, 1)` or the period is zero.
+pub fn rolling_failures(
+    node_count: usize,
+    cfg: &FailureConfig,
+    end: SimTime,
+    protected: &HashSet<NodeId>,
+    rng: &mut SimRng,
+) -> Vec<FailureEvent> {
+    assert!(
+        (0.0..1.0).contains(&cfg.fraction),
+        "failure fraction must be in [0, 1), got {}",
+        cfg.fraction
+    );
+    assert!(!cfg.period.is_zero(), "failure period must be positive");
+    let eligible: Vec<NodeId> = (0..node_count)
+        .map(NodeId::from_index)
+        .filter(|id| !protected.contains(id))
+        .collect();
+    let batch = ((node_count as f64) * cfg.fraction).round() as usize;
+    let batch = batch.min(eligible.len());
+    if batch == 0 {
+        return Vec::new();
+    }
+    let mut events = Vec::new();
+    let mut t = cfg.start;
+    let mut current: Vec<NodeId> = Vec::new();
+    while t < end {
+        // Recoveries first, then the fresh batch (stable within an instant:
+        // the engine applies events in insertion order).
+        for &node in &current {
+            events.push(FailureEvent {
+                at: t,
+                node,
+                down: false,
+            });
+        }
+        let picked: Vec<NodeId> = rng
+            .sample_indices(eligible.len(), batch)
+            .into_iter()
+            .map(|i| eligible[i])
+            .collect();
+        for &node in &picked {
+            events.push(FailureEvent {
+                at: t,
+                node,
+                down: true,
+            });
+        }
+        current = picked;
+        t += cfg.period;
+    }
+    // Final recovery so runs end with a whole network (mirrors the paper's
+    // "turned off for 30 seconds" semantics even for the last batch).
+    if t >= end && !current.is_empty() {
+        for &node in &current {
+            events.push(FailureEvent {
+                at: t.min(end),
+                node,
+                down: false,
+            });
+        }
+    }
+    events
+}
+
+/// The fraction of `[start, end)` each node spends down under `events`
+/// (diagnostic helper for tests and reports).
+pub fn downtime_fraction(
+    events: &[FailureEvent],
+    node: NodeId,
+    start: SimTime,
+    end: SimTime,
+) -> f64 {
+    let mut down_since: Option<SimTime> = None;
+    let mut total = SimDuration::ZERO;
+    for e in events.iter().filter(|e| e.node == node) {
+        match (e.down, down_since) {
+            (true, None) => down_since = Some(e.at),
+            (false, Some(s)) => {
+                let a = s.max(start);
+                let b = e.at.min(end);
+                if b > a {
+                    total += b - a;
+                }
+                down_since = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = down_since {
+        let a = s.max(start);
+        if end > a {
+            total += end - a;
+        }
+    }
+    let span = end.saturating_duration_since(start);
+    if span.is_zero() {
+        0.0
+    } else {
+        total.as_secs_f64() / span.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule(n: usize, end_s: u64, seed: u64) -> Vec<FailureEvent> {
+        let mut rng = SimRng::from_seed_stream(seed, 0);
+        rolling_failures(
+            n,
+            &FailureConfig::default(),
+            SimTime::from_secs(end_s),
+            &HashSet::new(),
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn twenty_percent_down_at_any_instant() {
+        let events = schedule(100, 190, 1);
+        // Count down nodes at t = 25 s (mid first batch) and t = 45 s.
+        for probe_s in [25u64, 45, 75, 105] {
+            let probe = SimTime::from_secs(probe_s);
+            let mut down = HashSet::new();
+            for e in &events {
+                if e.at <= probe {
+                    if e.down {
+                        down.insert(e.node);
+                    } else {
+                        down.remove(&e.node);
+                    }
+                }
+            }
+            assert_eq!(down.len(), 20, "at t={probe_s}s");
+        }
+    }
+
+    #[test]
+    fn batches_rotate() {
+        let events = schedule(100, 190, 2);
+        let batches: Vec<HashSet<NodeId>> = (0..3)
+            .map(|k| {
+                let t = SimTime::from_secs(10 + 30 * k);
+                events
+                    .iter()
+                    .filter(|e| e.at == t && e.down)
+                    .map(|e| e.node)
+                    .collect()
+            })
+            .collect();
+        assert!(batches.iter().all(|b| b.len() == 20));
+        // Overlap between consecutive batches is possible but not identity.
+        assert_ne!(batches[0], batches[1]);
+    }
+
+    #[test]
+    fn protected_nodes_never_fail() {
+        let protected: HashSet<NodeId> = [NodeId(0), NodeId(1)].into_iter().collect();
+        let mut rng = SimRng::from_seed_stream(3, 0);
+        let events = rolling_failures(
+            50,
+            &FailureConfig::default(),
+            SimTime::from_secs(190),
+            &protected,
+            &mut rng,
+        );
+        assert!(events.iter().all(|e| !protected.contains(&e.node)));
+        assert!(!events.is_empty());
+    }
+
+    #[test]
+    fn every_down_has_matching_up() {
+        let events = schedule(60, 100, 4);
+        let mut balance: std::collections::HashMap<NodeId, i32> = Default::default();
+        for e in &events {
+            *balance.entry(e.node).or_insert(0) += if e.down { 1 } else { -1 };
+        }
+        assert!(balance.values().all(|&v| v == 0), "unbalanced down/up: {balance:?}");
+    }
+
+    #[test]
+    fn downtime_fraction_matches_schedule() {
+        let events = vec![
+            FailureEvent {
+                at: SimTime::from_secs(10),
+                node: NodeId(1),
+                down: true,
+            },
+            FailureEvent {
+                at: SimTime::from_secs(40),
+                node: NodeId(1),
+                down: false,
+            },
+        ];
+        let f = downtime_fraction(&events, NodeId(1), SimTime::ZERO, SimTime::from_secs(100));
+        assert!((f - 0.3).abs() < 1e-9);
+        assert_eq!(
+            downtime_fraction(&events, NodeId(2), SimTime::ZERO, SimTime::from_secs(100)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn zero_fraction_is_empty_schedule() {
+        let mut rng = SimRng::from_seed_stream(5, 0);
+        let cfg = FailureConfig {
+            fraction: 0.0,
+            ..FailureConfig::default()
+        };
+        assert!(rolling_failures(100, &cfg, SimTime::from_secs(100), &HashSet::new(), &mut rng)
+            .is_empty());
+    }
+
+    #[test]
+    fn aggregate_downtime_is_about_the_fraction() {
+        let events = schedule(100, 190, 6);
+        let start = SimTime::from_secs(10);
+        let end = SimTime::from_secs(190);
+        let mean: f64 = (0..100)
+            .map(|i| downtime_fraction(&events, NodeId(i), start, end))
+            .sum::<f64>()
+            / 100.0;
+        assert!((mean - 0.2).abs() < 0.05, "mean downtime {mean}");
+    }
+}

@@ -1,0 +1,36 @@
+//! # wsn-scenario — reproducible experiment scenarios
+//!
+//! Generates everything around the protocol: connected random sensor fields
+//! ([`generate_field`]), the paper's source/sink placement schemes
+//! ([`SourcePlacement`], [`SinkPlacement`]), the rolling 20%-down failure
+//! model ([`rolling_failures`]), and the [`ScenarioSpec`] that ties a full
+//! run to a single seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use wsn_scenario::ScenarioSpec;
+//!
+//! let inst = ScenarioSpec::paper(150, 42).instantiate();
+//! assert_eq!(inst.sources.len(), 5);
+//! assert_eq!(inst.sinks.len(), 1);
+//! assert!(inst.field.topology.is_connected());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod failures;
+mod field;
+mod placement;
+mod render;
+mod spec;
+
+pub use failures::{downtime_fraction, rolling_failures, FailureConfig, FailureEvent};
+pub use field::{generate_field, Field};
+pub use render::{render_svg, RenderOverlay};
+pub use placement::{
+    pick_nodes_in_region, pick_nodes_uniform, place_sinks, place_sources, SinkPlacement,
+    SourcePlacement,
+};
+pub use spec::{ScenarioInstance, ScenarioSpec};

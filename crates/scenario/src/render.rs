@@ -1,0 +1,173 @@
+//! SVG rendering of sensor fields — topology, roles, and aggregation trees.
+//!
+//! Dependency-free (hand-written SVG) and deterministic, so examples and
+//! debugging sessions can dump a field to a file and inspect the tree a
+//! scheme actually built.
+
+use std::fmt::Write as _;
+
+use wsn_net::{NodeId, Position};
+
+use crate::field::Field;
+
+/// What to draw on top of the plain field.
+#[derive(Debug, Clone, Default)]
+pub struct RenderOverlay {
+    /// Nodes drawn as sources (filled squares).
+    pub sources: Vec<NodeId>,
+    /// Nodes drawn as sinks (filled diamonds).
+    pub sinks: Vec<NodeId>,
+    /// Highlighted directed edges (e.g. data gradients / the aggregation
+    /// tree), drawn as arrows from first to second.
+    pub tree_edges: Vec<(NodeId, NodeId)>,
+    /// Nodes drawn as failed (hollow).
+    pub down: Vec<NodeId>,
+}
+
+/// Renders `field` as a standalone SVG document.
+///
+/// Radio links are light gray, the overlay tree is bold, sources are
+/// squares, sinks are diamonds, failed nodes are hollow circles.
+///
+/// # Examples
+///
+/// ```
+/// use wsn_scenario::{generate_field, render_svg, RenderOverlay};
+/// use wsn_sim::SimRng;
+///
+/// let mut rng = SimRng::from_seed_stream(1, 0);
+/// let field = generate_field(30, 200.0, 40.0, &mut rng);
+/// let svg = render_svg(&field, &RenderOverlay::default());
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.ends_with("</svg>\n"));
+/// ```
+pub fn render_svg(field: &Field, overlay: &RenderOverlay) -> String {
+    const SCALE: f64 = 3.0;
+    const MARGIN: f64 = 15.0;
+    let w = field.area.width() * SCALE + 2.0 * MARGIN;
+    let h = field.area.height() * SCALE + 2.0 * MARGIN;
+    // SVG y grows downward; flip so the field's north is up.
+    let tx = |p: Position| MARGIN + (p.x - field.area.x0) * SCALE;
+    let ty = |p: Position| MARGIN + (field.area.y1 - p.y) * SCALE;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0}" height="{h:.0}" viewBox="0 0 {w:.0} {h:.0}">"##
+    );
+    let _ = writeln!(
+        out,
+        r##"  <rect width="{w:.0}" height="{h:.0}" fill="white" stroke="#ccc"/>"##
+    );
+
+    // Radio links.
+    for i in 0..field.positions.len() {
+        let u = NodeId::from_index(i);
+        for &v in field.topology.neighbors(u) {
+            if v.index() > i {
+                let a = field.positions[i];
+                let b = field.positions[v.index()];
+                let _ = writeln!(
+                    out,
+                    r##"  <line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#e0e0e0" stroke-width="0.6"/>"##,
+                    tx(a), ty(a), tx(b), ty(b)
+                );
+            }
+        }
+    }
+
+    // Overlay tree edges.
+    for &(from, to) in &overlay.tree_edges {
+        let a = field.positions[from.index()];
+        let b = field.positions[to.index()];
+        let _ = writeln!(
+            out,
+            r##"  <line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#d2691e" stroke-width="2.2"/>"##,
+            tx(a), ty(a), tx(b), ty(b)
+        );
+    }
+
+    // Nodes.
+    for (i, &p) in field.positions.iter().enumerate() {
+        let id = NodeId::from_index(i);
+        let (x, y) = (tx(p), ty(p));
+        if overlay.sources.contains(&id) {
+            let _ = writeln!(
+                out,
+                r##"  <rect x="{:.1}" y="{:.1}" width="9" height="9" fill="#1f77b4"><title>{id} source</title></rect>"##,
+                x - 4.5, y - 4.5
+            );
+        } else if overlay.sinks.contains(&id) {
+            let _ = writeln!(
+                out,
+                r##"  <path d="M {x:.1} {:.1} L {:.1} {y:.1} L {x:.1} {:.1} L {:.1} {y:.1} Z" fill="#d62728"><title>{id} sink</title></path>"##,
+                y - 6.5, x + 6.5, y + 6.5, x - 6.5
+            );
+        } else if overlay.down.contains(&id) {
+            let _ = writeln!(
+                out,
+                r##"  <circle cx="{x:.1}" cy="{y:.1}" r="3" fill="white" stroke="#999" stroke-width="1.2"><title>{id} down</title></circle>"##
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                r##"  <circle cx="{x:.1}" cy="{y:.1}" r="2.4" fill="#555"><title>{id}</title></circle>"##
+            );
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::generate_field;
+    use wsn_sim::SimRng;
+
+    fn field() -> Field {
+        let mut rng = SimRng::from_seed_stream(5, 0);
+        generate_field(25, 200.0, 40.0, &mut rng)
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let svg = render_svg(&field(), &RenderOverlay::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<circle").count(), 25);
+    }
+
+    #[test]
+    fn overlay_shapes_appear() {
+        let f = field();
+        let overlay = RenderOverlay {
+            sources: vec![NodeId(0), NodeId(1)],
+            sinks: vec![NodeId(2)],
+            tree_edges: vec![(NodeId(0), NodeId(2)), (NodeId(1), NodeId(2))],
+            down: vec![NodeId(3)],
+        };
+        let svg = render_svg(&f, &overlay);
+        assert_eq!(svg.matches("<rect").count(), 3); // background + 2 sources
+        assert_eq!(svg.matches("source</title>").count(), 2);
+        assert_eq!(svg.matches("sink</title>").count(), 1);
+        assert_eq!(svg.matches("down</title>").count(), 1);
+        assert_eq!(svg.matches("#d2691e").count(), 2); // tree edges
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let f = field();
+        let overlay = RenderOverlay::default();
+        assert_eq!(render_svg(&f, &overlay), render_svg(&f, &overlay));
+    }
+
+    #[test]
+    fn coordinates_stay_inside_canvas() {
+        let svg = render_svg(&field(), &RenderOverlay::default());
+        for cap in svg.split("cx=\"").skip(1) {
+            let x: f64 = cap.split('"').next().unwrap().parse().unwrap();
+            assert!((0.0..=630.0).contains(&x), "x {x} escaped the canvas");
+        }
+    }
+}

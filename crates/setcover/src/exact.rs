@@ -1,0 +1,189 @@
+//! Exact minimum-weight set cover for small instances.
+//!
+//! Branch and bound over element-driven branching: repeatedly pick the first
+//! uncovered element and try every subset containing it. Exponential in the
+//! worst case, but instances with up to ~20 subsets solve instantly — more
+//! than enough to validate the greedy heuristic's `ln d + 1` bound in
+//! property tests and to sanity-check aggregate costs in integration tests.
+
+use crate::greedy::Cover;
+use crate::instance::CoverInstance;
+
+/// Maximum universe size accepted by [`exact_cover`] (bitmask representation).
+pub const MAX_EXACT_ELEMENTS: usize = 64;
+
+/// Computes the exact minimum-weight cover.
+///
+/// Returns the optimal [`Cover`] (selection order is by subset index).
+/// Among equal-weight optima the lexicographically smallest index set wins.
+///
+/// # Panics
+///
+/// Panics if the universe exceeds [`MAX_EXACT_ELEMENTS`] elements.
+///
+/// # Examples
+///
+/// ```
+/// use wsn_setcover::{exact_cover, greedy_cover, CoverInstance};
+///
+/// let mut inst = CoverInstance::new();
+/// inst.add_subset(vec![0, 1, 2], 5.0);
+/// inst.add_subset(vec![2, 3], 6.0);
+/// inst.add_subset(vec![1, 3], 7.0);
+/// let exact = exact_cover(&inst);
+/// let greedy = greedy_cover(&inst);
+/// assert!(greedy.weight >= exact.weight);
+/// assert_eq!(exact.weight, 11.0); // greedy happens to be optimal here
+/// ```
+pub fn exact_cover(inst: &CoverInstance) -> Cover {
+    let n_elem = inst.universe_len();
+    assert!(
+        n_elem <= MAX_EXACT_ELEMENTS,
+        "exact_cover supports at most {MAX_EXACT_ELEMENTS} elements, got {n_elem}"
+    );
+    // Dense position of each universe element.
+    let pos = |x: u32| -> u32 {
+        inst.universe()
+            .binary_search(&x)
+            .expect("subset element missing from universe") as u32
+    };
+    let masks: Vec<u64> = inst
+        .subsets()
+        .iter()
+        .map(|s| s.items().iter().fold(0u64, |m, &x| m | (1u64 << pos(x))))
+        .collect();
+    let full: u64 = if n_elem == 64 {
+        u64::MAX
+    } else {
+        (1u64 << n_elem) - 1
+    };
+
+    // For each element, the subsets containing it (branching candidates).
+    let mut containing: Vec<Vec<usize>> = vec![Vec::new(); n_elem];
+    for (i, &m) in masks.iter().enumerate() {
+        let mut bits = m;
+        while bits != 0 {
+            let b = bits.trailing_zeros() as usize;
+            containing[b].push(i);
+            bits &= bits - 1;
+        }
+    }
+
+    struct Search<'a> {
+        inst: &'a CoverInstance,
+        masks: &'a [u64],
+        containing: &'a [Vec<usize>],
+        full: u64,
+        best_weight: f64,
+        best: Vec<usize>,
+        current: Vec<usize>,
+    }
+
+    impl Search<'_> {
+        fn go(&mut self, covered: u64, weight: f64) {
+            if weight >= self.best_weight {
+                return; // bound
+            }
+            if covered == self.full {
+                self.best_weight = weight;
+                self.best = self.current.clone();
+                return;
+            }
+            let missing = (!covered) & self.full;
+            let elem = missing.trailing_zeros() as usize;
+            for &i in &self.containing[elem] {
+                self.current.push(i);
+                self.go(covered | self.masks[i], weight + self.inst.subsets()[i].weight());
+                self.current.pop();
+            }
+        }
+    }
+
+    let mut search = Search {
+        inst,
+        masks: &masks,
+        containing: &containing,
+        full,
+        best_weight: f64::INFINITY,
+        best: Vec::new(),
+        current: Vec::new(),
+    };
+    if full == 0 {
+        return Cover {
+            selected: Vec::new(),
+            weight: 0.0,
+        };
+    }
+    search.go(0, 0.0);
+    assert!(
+        search.best_weight.is_finite(),
+        "universe is the union of subsets, so a cover must exist"
+    );
+    let mut selected = search.best;
+    selected.sort_unstable();
+    let weight = inst.selection_weight(&selected);
+    Cover { selected, weight }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::greedy_cover;
+
+    #[test]
+    fn trivial_instances() {
+        let empty = exact_cover(&CoverInstance::new());
+        assert!(empty.selected.is_empty());
+        assert_eq!(empty.weight, 0.0);
+
+        let mut single = CoverInstance::new();
+        single.add_subset(vec![0], 2.0);
+        let c = exact_cover(&single);
+        assert_eq!(c.selected, vec![0]);
+        assert_eq!(c.weight, 2.0);
+    }
+
+    #[test]
+    fn exact_beats_greedy_on_adversarial_instance() {
+        // Classic greedy trap: universe {0..5}. One set covers all at
+        // weight 3.1; greedy instead chains cheap-ratio sets.
+        let mut inst = CoverInstance::new();
+        inst.add_subset(vec![0, 1, 2], 1.0); // ratio 1/3
+        inst.add_subset(vec![3, 4], 0.9); // ratio 0.45
+        inst.add_subset(vec![5], 0.8);
+        inst.add_subset(vec![0, 1, 2, 3, 4, 5], 2.5); // optimum
+        let greedy = greedy_cover(&inst);
+        let exact = exact_cover(&inst);
+        assert_eq!(exact.selected, vec![3]);
+        assert_eq!(exact.weight, 2.5);
+        assert!(greedy.weight > exact.weight);
+    }
+
+    #[test]
+    fn exact_is_a_cover() {
+        let mut inst = CoverInstance::new();
+        inst.add_subset(vec![0, 3], 1.0);
+        inst.add_subset(vec![1, 2], 1.0);
+        inst.add_subset(vec![0, 1], 1.0);
+        inst.add_subset(vec![2, 3], 1.0);
+        let c = exact_cover(&inst);
+        assert!(inst.covers(&c.selected));
+        assert_eq!(c.weight, 2.0);
+    }
+
+    #[test]
+    fn full_64_element_universe_is_accepted() {
+        let mut inst = CoverInstance::new();
+        inst.add_subset((0..64).collect(), 1.0);
+        let c = exact_cover(&inst);
+        assert_eq!(c.selected, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 elements")]
+    fn oversized_universe_panics() {
+        let mut inst = CoverInstance::new();
+        inst.add_subset((0..65).collect(), 1.0);
+        let _ = exact_cover(&inst);
+    }
+}

@@ -1,0 +1,229 @@
+//! The pending-event queue.
+//!
+//! A binary heap keyed on `(time, sequence)`. The sequence number breaks ties
+//! between events scheduled for the same instant in insertion order, which
+//! makes the simulation fully deterministic: two runs that schedule the same
+//! events in the same order dequeue them in the same order.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// Identifier of a scheduled event, usable to cancel it before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// The raw sequence number (mostly useful in logs).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+// Reverse ordering so the std max-heap pops the *earliest* event first.
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic pending-event queue.
+///
+/// Events are popped in `(time, insertion order)` order. Cancellation is lazy:
+/// cancelled entries stay in the heap and are skipped when they surface.
+///
+/// # Examples
+///
+/// ```
+/// use wsn_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// let late = q.push(SimTime::from_secs(2), "late");
+/// q.push(SimTime::from_secs(1), "early");
+/// q.cancel(late);
+/// assert_eq!(q.pop().map(|(_, _, e)| e), Some("early"));
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Sequence numbers of heap entries that have not fired or been cancelled.
+    live: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            live: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at `time`, returning a handle for cancellation.
+    pub fn push(&mut self, time: SimTime, payload: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+        self.live.insert(seq);
+        EventId(seq)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event was still pending, `false` if it already
+    /// fired or was already cancelled. Cancellation is O(1); the heap entry
+    /// becomes a tombstone skipped on pop.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.live.remove(&id.0)
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if !self.live.remove(&entry.seq) {
+                continue; // cancelled: skip the tombstone
+            }
+            return Some((entry.time, EventId(entry.seq), entry.payload));
+        }
+        None
+    }
+
+    /// The time of the earliest pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            let seq = self.heap.peek()?.seq;
+            if !self.live.contains(&seq) {
+                self.heap.pop(); // discard the tombstone
+                continue;
+            }
+            return Some(self.heap.peek()?.time);
+        }
+    }
+
+    /// The number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether there are no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(3), 'c');
+        q.push(t(1), 'a');
+        q.push(t(2), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_break_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(1), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_prevents_delivery() {
+        let mut q = EventQueue::new();
+        let id = q.push(t(1), 'x');
+        assert!(q.cancel(id));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_of_fired_event_is_false() {
+        let mut q = EventQueue::new();
+        let id = q.push(t(1), 'x');
+        assert!(q.pop().is_some());
+        assert!(!q.cancel(id));
+    }
+
+    #[test]
+    fn double_cancel_is_false() {
+        let mut q = EventQueue::new();
+        let id = q.push(t(1), 'x');
+        assert!(q.cancel(id));
+        assert!(!q.cancel(id));
+    }
+
+    #[test]
+    fn cancel_of_unknown_id_is_false() {
+        let mut q: EventQueue<char> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn len_accounts_for_cancellations() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), 'a');
+        q.push(t(2), 'b');
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), 'a');
+        q.push(t(2), 'b');
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(2)));
+    }
+
+    #[test]
+    fn peek_time_on_empty_is_none() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+    }
+}

@@ -1,0 +1,115 @@
+//! Tree-cost comparison: GIT vs SPT transmission savings.
+
+use crate::graph::Graph;
+use crate::trees::{greedy_incremental_tree, path_sum_cost, shortest_path_tree};
+
+/// Costs of the three routing structures for one scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeComparison {
+    /// Union-of-shortest-paths tree cost (opportunistic aggregation's
+    /// idealized limit).
+    pub spt_cost: f64,
+    /// Greedy incremental tree cost (greedy aggregation's target).
+    pub git_cost: f64,
+    /// Sum of independent shortest paths (no aggregation at all).
+    pub no_aggregation_cost: f64,
+}
+
+impl TreeComparison {
+    /// Fractional transmission savings of the GIT over the SPT,
+    /// `1 − git/spt` (0 when the SPT is empty).
+    pub fn git_savings_over_spt(&self) -> f64 {
+        if self.spt_cost <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.git_cost / self.spt_cost
+        }
+    }
+
+    /// Fractional savings of the SPT (aggregation on shortest paths) over
+    /// no aggregation.
+    pub fn spt_savings_over_no_aggregation(&self) -> f64 {
+        if self.no_aggregation_cost <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.spt_cost / self.no_aggregation_cost
+        }
+    }
+}
+
+/// Compares the aggregation-tree structures for `sources` → `sink` on `g`.
+///
+/// # Examples
+///
+/// ```
+/// use wsn_trees::{compare_trees, Graph};
+///
+/// // sink 0 — 1 — 2 (source), 2 — 3 (source)
+/// let mut g = Graph::new(4);
+/// g.add_edge(0, 1, 1.0);
+/// g.add_edge(1, 2, 1.0);
+/// g.add_edge(2, 3, 1.0);
+/// let cmp = compare_trees(&g, 0, &[2, 3]);
+/// assert_eq!(cmp.git_cost, 3.0);
+/// assert_eq!(cmp.spt_cost, 3.0);
+/// assert_eq!(cmp.no_aggregation_cost, 5.0);
+/// ```
+pub fn compare_trees(g: &Graph, sink: usize, sources: &[usize]) -> TreeComparison {
+    TreeComparison {
+        spt_cost: shortest_path_tree(g, sink, sources).cost,
+        git_cost: greedy_incremental_tree(g, sink, sources).cost,
+        no_aggregation_cost: path_sum_cost(g, sink, sources),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{random_geometric, random_sources};
+    use wsn_sim::SimRng;
+
+    #[test]
+    fn savings_fractions_are_sane() {
+        let mut rng = SimRng::from_seed_stream(11, 0);
+        let (g, _) = random_geometric(150, 200.0, 40.0, &mut rng);
+        let sources = random_sources(150, 5, 0, &mut rng);
+        let cmp = compare_trees(&g, 0, &sources);
+        assert!(cmp.git_cost <= cmp.spt_cost + 1e-9, "GIT never costs more than SPT");
+        assert!(cmp.spt_cost <= cmp.no_aggregation_cost + 1e-9);
+        let s = cmp.git_savings_over_spt();
+        assert!((0.0..=1.0).contains(&s), "savings fraction {s} out of range");
+    }
+
+    #[test]
+    fn zero_costs_give_zero_savings() {
+        let cmp = TreeComparison {
+            spt_cost: 0.0,
+            git_cost: 0.0,
+            no_aggregation_cost: 0.0,
+        };
+        assert_eq!(cmp.git_savings_over_spt(), 0.0);
+        assert_eq!(cmp.spt_savings_over_no_aggregation(), 0.0);
+    }
+
+    #[test]
+    fn random_sources_savings_stay_modest() {
+        // The Krishnamachari result the paper cites: under the random
+        // sources model, GIT savings over SPT do not exceed ~20%. Check the
+        // average over several dense random fields stays in that regime.
+        let mut total_git = 0.0;
+        let mut total_spt = 0.0;
+        for seed in 0..10 {
+            let mut rng = SimRng::from_seed_stream(seed, 1);
+            let (g, _) = random_geometric(200, 200.0, 40.0, &mut rng);
+            let sources = random_sources(200, 5, 0, &mut rng);
+            let cmp = compare_trees(&g, 0, &sources);
+            total_git += cmp.git_cost;
+            total_spt += cmp.spt_cost;
+        }
+        let savings = 1.0 - total_git / total_spt;
+        assert!(
+            (0.0..=0.30).contains(&savings),
+            "random-sources GIT savings {savings} outside the expected modest regime"
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! Single- and multi-source shortest paths.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::graph::Graph;
+
+/// Shortest-path result: distances and predecessor pointers.
+#[derive(Debug, Clone)]
+pub struct ShortestPaths {
+    /// `dist[v]` — distance from the source set to `v` (`f64::INFINITY` if
+    /// unreachable).
+    pub dist: Vec<f64>,
+    /// `parent[v]` — previous vertex on a shortest path to `v`.
+    pub parent: Vec<Option<usize>>,
+}
+
+impl ShortestPaths {
+    /// The path from the source (set) to `v`, as a vertex list ending in
+    /// `v`, or `None` if unreachable.
+    pub fn path_to(&self, v: usize) -> Option<Vec<usize>> {
+        if !self.dist[v].is_finite() {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent[cur] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    vertex: usize,
+}
+
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by distance, ties by vertex id for determinism.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("distances are finite")
+            .then(other.vertex.cmp(&self.vertex))
+    }
+}
+
+/// Dijkstra from a single source.
+///
+/// # Panics
+///
+/// Panics if `source` is out of bounds.
+pub fn dijkstra(g: &Graph, source: usize) -> ShortestPaths {
+    multi_source_dijkstra(g, &[source])
+}
+
+/// Dijkstra from a set of sources (distance to the nearest source) — the
+/// primitive behind greedy incremental tree construction, where the "source
+/// set" is the current tree.
+///
+/// # Panics
+///
+/// Panics if `sources` is empty or contains an out-of-bounds vertex.
+pub fn multi_source_dijkstra(g: &Graph, sources: &[usize]) -> ShortestPaths {
+    assert!(!sources.is_empty(), "need at least one source");
+    let n = g.len();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    for &s in sources {
+        assert!(s < n, "source {s} out of bounds");
+        dist[s] = 0.0;
+        heap.push(HeapEntry { dist: 0.0, vertex: s });
+    }
+    while let Some(HeapEntry { dist: d, vertex: u }) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        for &(v, w) in g.neighbors(u) {
+            let nd = d + w;
+            if nd < dist[v] {
+                dist[v] = nd;
+                parent[v] = Some(u);
+                heap.push(HeapEntry { dist: nd, vertex: v });
+            }
+        }
+    }
+    ShortestPaths { dist, parent }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1, 1.0);
+        }
+        g
+    }
+
+    #[test]
+    fn line_distances() {
+        let sp = dijkstra(&line(5), 0);
+        assert_eq!(sp.dist, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(sp.path_to(4), Some(vec![0, 1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn weighted_shortcut_wins() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 3, 1.0);
+        g.add_edge(0, 2, 5.0);
+        g.add_edge(2, 3, 5.0);
+        let sp = dijkstra(&g, 0);
+        assert_eq!(sp.dist[3], 2.0);
+        assert_eq!(sp.path_to(3), Some(vec![0, 1, 3]));
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0);
+        let sp = dijkstra(&g, 0);
+        assert!(!sp.dist[2].is_finite());
+        assert_eq!(sp.path_to(2), None);
+    }
+
+    #[test]
+    fn multi_source_takes_nearest() {
+        let sp = multi_source_dijkstra(&line(7), &[0, 6]);
+        assert_eq!(sp.dist, vec![0.0, 1.0, 2.0, 3.0, 2.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn source_path_is_itself() {
+        let sp = dijkstra(&line(3), 1);
+        assert_eq!(sp.path_to(1), Some(vec![1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one source")]
+    fn empty_sources_panics() {
+        multi_source_dijkstra(&line(3), &[]);
+    }
+}

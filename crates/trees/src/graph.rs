@@ -1,0 +1,132 @@
+//! A small weighted undirected graph for tree analysis.
+
+use wsn_net::Topology;
+
+/// A weighted undirected graph over vertices `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use wsn_trees::Graph;
+///
+/// let mut g = Graph::new(3);
+/// g.add_edge(0, 1, 1.0);
+/// g.add_edge(1, 2, 2.0);
+/// assert_eq!(g.len(), 3);
+/// assert_eq!(g.degree(1), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Graph {
+    adj: Vec<Vec<(usize, f64)>>,
+}
+
+impl Graph {
+    /// Creates a graph with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Builds the unit-weight graph of a disc-model [`Topology`] (one edge
+    /// per radio link, weight 1 = one transmission).
+    pub fn from_topology(topo: &Topology) -> Self {
+        let mut g = Graph::new(topo.len());
+        for i in 0..topo.len() {
+            let u = wsn_net::NodeId::from_index(i);
+            for &v in topo.neighbors(u) {
+                if v.index() > i {
+                    g.add_edge(i, v.index(), 1.0);
+                }
+            }
+        }
+        g
+    }
+
+    /// Adds an undirected edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of bounds, the endpoints coincide,
+    /// or the weight is not positive and finite.
+    pub fn add_edge(&mut self, u: usize, v: usize, w: f64) {
+        assert!(u < self.adj.len() && v < self.adj.len(), "vertex out of bounds");
+        assert_ne!(u, v, "self-loops are not allowed");
+        assert!(w.is_finite() && w > 0.0, "edge weight must be positive, got {w}");
+        self.adj[u].push((v, w));
+        self.adj[v].push((u, w));
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// The neighbors of `u` with edge weights.
+    pub fn neighbors(&self, u: usize) -> &[(usize, f64)] {
+        &self.adj[u]
+    }
+
+    /// The degree of `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_net::Position;
+
+    #[test]
+    fn edges_are_undirected() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, 3.0);
+        assert_eq!(g.neighbors(0), &[(1, 3.0)]);
+        assert_eq!(g.neighbors(1), &[(0, 3.0)]);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn from_topology_has_unit_weights() {
+        let topo = Topology::new(
+            vec![
+                Position::new(0.0, 0.0),
+                Position::new(30.0, 0.0),
+                Position::new(60.0, 0.0),
+            ],
+            40.0,
+        );
+        let g = Graph::from_topology(&topo);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.neighbors(1).iter().all(|&(_, w)| w == 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        Graph::new(2).add_edge(1, 1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weight_panics() {
+        Graph::new(2).add_edge(0, 1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bad_vertex_panics() {
+        Graph::new(2).add_edge(0, 5, 1.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Abstract source-placement models (Krishnamachari, Estrin & Wicker,
+//! "Modelling data-centric routing in wireless sensor networks").
+//!
+//! The ICDCS paper contrasts its packet-level results against this abstract
+//! analysis: "Based on the event-radius model and the random sources model,
+//! their results indicate that the transmission savings by the GIT over the
+//! SPT do not exceed 20%. However, the energy savings of our greedy
+//! aggregation can definitely be much higher than 20%, given our source
+//! placement schemes and high-density networks."
+
+use wsn_net::{Position, Rect, Topology};
+use wsn_sim::SimRng;
+
+use crate::graph::Graph;
+
+/// A random geometric graph: `n` nodes uniform in a `side × side` square,
+/// edges between nodes within `range` of each other — plus the positions.
+pub fn random_geometric(
+    n: usize,
+    side: f64,
+    range: f64,
+    rng: &mut SimRng,
+) -> (Graph, Vec<Position>) {
+    let field = Rect::square(side);
+    let positions: Vec<Position> = (0..n).map(|_| field.sample(rng)).collect();
+    let topo = Topology::new(positions.clone(), range);
+    (Graph::from_topology(&topo), positions)
+}
+
+/// The **event-radius model**: a single event at `center`; every node within
+/// `sensing_radius` of it is a source.
+pub fn event_radius_sources(
+    positions: &[Position],
+    center: Position,
+    sensing_radius: f64,
+) -> Vec<usize> {
+    positions
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.distance(center) <= sensing_radius)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// The **random sources model**: `k` nodes chosen uniformly at random are
+/// sources (excluding `sink`).
+///
+/// # Panics
+///
+/// Panics if `k` exceeds the number of non-sink nodes.
+pub fn random_sources(n: usize, k: usize, sink: usize, rng: &mut SimRng) -> Vec<usize> {
+    let candidates: Vec<usize> = (0..n).filter(|&i| i != sink).collect();
+    assert!(k <= candidates.len(), "cannot pick {k} sources from {}", candidates.len());
+    rng.sample_indices(candidates.len(), k)
+        .into_iter()
+        .map(|i| candidates[i])
+        .collect()
+}
+
+/// The ICDCS paper's **corner placement**: sources uniform among nodes inside
+/// the `region`, returned as node indices. Returns fewer than `k` if the
+/// region holds fewer nodes.
+pub fn region_sources(
+    positions: &[Position],
+    region: Rect,
+    k: usize,
+    rng: &mut SimRng,
+) -> Vec<usize> {
+    let inside: Vec<usize> = positions
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| region.contains(**p))
+        .map(|(i, _)| i)
+        .collect();
+    let take = k.min(inside.len());
+    rng.sample_indices(inside.len(), take)
+        .into_iter()
+        .map(|i| inside[i])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_graph_is_reproducible() {
+        let mut a = SimRng::from_seed_stream(1, 0);
+        let mut b = SimRng::from_seed_stream(1, 0);
+        let (ga, pa) = random_geometric(50, 200.0, 40.0, &mut a);
+        let (gb, pb) = random_geometric(50, 200.0, 40.0, &mut b);
+        assert_eq!(pa, pb);
+        assert_eq!(ga.edge_count(), gb.edge_count());
+    }
+
+    #[test]
+    fn event_radius_takes_nodes_near_event() {
+        let positions = vec![
+            Position::new(0.0, 0.0),
+            Position::new(5.0, 0.0),
+            Position::new(100.0, 0.0),
+        ];
+        let s = event_radius_sources(&positions, Position::new(0.0, 0.0), 10.0);
+        assert_eq!(s, vec![0, 1]);
+    }
+
+    #[test]
+    fn random_sources_excludes_sink_and_is_distinct() {
+        let mut rng = SimRng::from_seed_stream(2, 0);
+        for _ in 0..20 {
+            let s = random_sources(10, 5, 3, &mut rng);
+            assert_eq!(s.len(), 5);
+            assert!(!s.contains(&3));
+            let set: std::collections::HashSet<_> = s.iter().collect();
+            assert_eq!(set.len(), 5);
+        }
+    }
+
+    #[test]
+    fn region_sources_stay_in_region() {
+        let mut rng = SimRng::from_seed_stream(3, 0);
+        let field = Rect::square(200.0);
+        let positions: Vec<Position> = (0..100).map(|_| field.sample(&mut rng)).collect();
+        let region = field.bottom_left(80.0, 80.0);
+        let s = region_sources(&positions, region, 5, &mut rng);
+        assert!(s.len() <= 5);
+        for i in s {
+            assert!(region.contains(positions[i]));
+        }
+    }
+
+    #[test]
+    fn region_with_too_few_nodes_returns_what_exists() {
+        let positions = vec![Position::new(1.0, 1.0), Position::new(150.0, 150.0)];
+        let mut rng = SimRng::from_seed_stream(4, 0);
+        let s = region_sources(&positions, Rect::new(0.0, 0.0, 10.0, 10.0), 5, &mut rng);
+        assert_eq!(s, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pick")]
+    fn oversubscribed_random_sources_panics() {
+        let mut rng = SimRng::from_seed_stream(5, 0);
+        random_sources(3, 3, 0, &mut rng);
+    }
+}

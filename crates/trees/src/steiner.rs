@@ -1,0 +1,192 @@
+//! Exact Steiner tree cost via Dreyfus–Wagner dynamic programming.
+//!
+//! The paper: "finding the optimal aggregation tree is computationally
+//! infeasible because it is equivalent to finding the Steiner tree that is
+//! known to be NP-hard". For *small* terminal sets the Dreyfus–Wagner
+//! recurrence solves it exactly in `O(3^t·n + 2^t·n²)` — enough to verify
+//! the greedy incremental tree's classic 2-approximation guarantee in
+//! property tests and to report true optimality gaps in analyses.
+
+use crate::dijkstra::dijkstra;
+use crate::graph::Graph;
+
+/// Maximum number of terminals accepted by [`steiner_cost`].
+pub const MAX_STEINER_TERMINALS: usize = 12;
+
+/// The exact minimum cost of a tree spanning `sink` and all `sources`
+/// (Steiner vertices allowed anywhere in `g`), or `f64::INFINITY` if some
+/// terminal is unreachable from the sink.
+///
+/// # Panics
+///
+/// Panics if there are more than [`MAX_STEINER_TERMINALS`] distinct
+/// terminals, or if any terminal is out of bounds.
+///
+/// # Examples
+///
+/// ```
+/// use wsn_trees::{greedy_incremental_tree, steiner_cost, Graph};
+///
+/// let mut g = Graph::new(4);
+/// g.add_edge(0, 1, 1.0);
+/// g.add_edge(1, 2, 1.0);
+/// g.add_edge(1, 3, 1.0);
+/// let opt = steiner_cost(&g, 0, &[2, 3]);
+/// assert_eq!(opt, 3.0); // the star through vertex 1
+/// let git = greedy_incremental_tree(&g, 0, &[2, 3]);
+/// assert!(git.cost <= 2.0 * opt); // the classic guarantee
+/// ```
+pub fn steiner_cost(g: &Graph, sink: usize, sources: &[usize]) -> f64 {
+    let n = g.len();
+    let mut terminals: Vec<usize> = std::iter::once(sink)
+        .chain(sources.iter().copied())
+        .collect();
+    terminals.sort_unstable();
+    terminals.dedup();
+    assert!(
+        terminals.len() <= MAX_STEINER_TERMINALS,
+        "steiner_cost supports at most {MAX_STEINER_TERMINALS} terminals, got {}",
+        terminals.len()
+    );
+    for &t in &terminals {
+        assert!(t < n, "terminal {t} out of bounds");
+    }
+    if terminals.len() <= 1 {
+        return 0.0;
+    }
+
+    // All-terminal shortest-path distances to every vertex.
+    let dist: Vec<Vec<f64>> = terminals.iter().map(|&t| dijkstra(g, t).dist).collect();
+
+    // dp[mask][v] = min cost of a tree spanning (terminals in mask) ∪ {v}.
+    // Terminal 0 is folded in at the end (standard trick: solve for the
+    // other t−1 terminals rooted anywhere, then connect terminal 0).
+    let t = terminals.len() - 1; // terminals[1..] participate in masks
+    let full = (1usize << t) - 1;
+    let mut dp = vec![vec![f64::INFINITY; n]; full + 1];
+    for i in 0..t {
+        dp[1 << i].copy_from_slice(&dist[i + 1]);
+    }
+
+    for mask in 1..=full {
+        if mask.count_ones() < 2 {
+            continue;
+        }
+        // Merge step: split the mask into two non-empty halves at v.
+        let mut best = vec![f64::INFINITY; n];
+        let mut sub = (mask - 1) & mask;
+        while sub > 0 {
+            if sub < mask - sub {
+                break; // each unordered pair once
+            }
+            let other = mask ^ sub;
+            if other != 0 {
+                for v in 0..n {
+                    let c = dp[sub][v] + dp[other][v];
+                    if c < best[v] {
+                        best[v] = c;
+                    }
+                }
+            }
+            sub = (sub - 1) & mask;
+        }
+        for v in 0..n {
+            if best[v] < dp[mask][v] {
+                dp[mask][v] = best[v];
+            }
+        }
+        // Grow step: Dijkstra-like relaxation of dp[mask] over the graph.
+        let mut heap: std::collections::BinaryHeap<(std::cmp::Reverse<u64>, usize)> =
+            std::collections::BinaryHeap::new();
+        for (v, &d) in dp[mask].iter().enumerate() {
+            if d.is_finite() {
+                heap.push((std::cmp::Reverse(d.to_bits()), v));
+            }
+        }
+        while let Some((std::cmp::Reverse(bits), u)) = heap.pop() {
+            let d = f64::from_bits(bits);
+            if d > dp[mask][u] {
+                continue;
+            }
+            for &(v, w) in g.neighbors(u) {
+                let nd = d + w;
+                if nd < dp[mask][v] {
+                    dp[mask][v] = nd;
+                    heap.push((std::cmp::Reverse(nd.to_bits()), v));
+                }
+            }
+        }
+    }
+
+    dp[full][terminals[0]]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trees::greedy_incremental_tree;
+
+    #[test]
+    fn star_graph_uses_the_steiner_vertex() {
+        // 0 (sink) — 1 — {2, 3, 4}: the optimum spans via vertex 1.
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(1, 3, 1.0);
+        g.add_edge(1, 4, 1.0);
+        assert_eq!(steiner_cost(&g, 0, &[2, 3, 4]), 4.0);
+    }
+
+    #[test]
+    fn single_terminal_pair_is_shortest_path() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 2.0);
+        g.add_edge(0, 3, 5.0);
+        g.add_edge(3, 2, 5.0);
+        assert_eq!(steiner_cost(&g, 0, &[2]), 3.0);
+    }
+
+    #[test]
+    fn steiner_beats_git_on_the_classic_gadget() {
+        // A 4-cycle with a center: terminals on the rim, optimum through
+        // the hub. GIT may route around the rim.
+        let mut g = Graph::new(5);
+        let hub = 4;
+        for rim in 0..4 {
+            g.add_edge(rim, hub, 1.0);
+            g.add_edge(rim, (rim + 1) % 4, 1.9);
+        }
+        let opt = steiner_cost(&g, 0, &[1, 2, 3]);
+        assert_eq!(opt, 4.0); // all four spokes
+        let git = greedy_incremental_tree(&g, 0, &[1, 2, 3]);
+        assert!(git.cost >= opt);
+        assert!(git.cost <= 2.0 * opt);
+    }
+
+    #[test]
+    fn unreachable_terminal_is_infinite() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0);
+        assert!(steiner_cost(&g, 0, &[2]).is_infinite());
+    }
+
+    #[test]
+    fn degenerate_terminal_sets() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        assert_eq!(steiner_cost(&g, 0, &[]), 0.0);
+        assert_eq!(steiner_cost(&g, 0, &[0, 0]), 0.0);
+        // Duplicates collapse.
+        assert_eq!(steiner_cost(&g, 0, &[2, 2]), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_many_terminals_panics() {
+        let g = Graph::new(20);
+        let terminals: Vec<usize> = (1..14).collect();
+        let _ = steiner_cost(&g, 0, &terminals);
+    }
+}

@@ -1,0 +1,276 @@
+//! Aggregation-tree constructions: shortest-path tree (SPT) and greedy
+//! incremental tree (GIT, Takahashi–Matsuyama).
+//!
+//! With *perfect aggregation*, delivering one round of events from every
+//! source to the sink costs one transmission per tree edge, so the quality
+//! of a data-aggregation scheme reduces to the total weight of the union of
+//! edges its paths use. The SPT models opportunistic aggregation's idealized
+//! limit (each source takes a shortest path; sharing is incidental); the GIT
+//! is the Steiner-tree 2-approximation the greedy scheme chases.
+
+use std::collections::BTreeSet;
+
+use crate::dijkstra::{dijkstra, multi_source_dijkstra};
+use crate::graph::Graph;
+
+/// A tree (or forest) as a set of undirected edges with a total weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tree {
+    /// Undirected edges, each stored as `(min, max)`.
+    pub edges: BTreeSet<(usize, usize)>,
+    /// Total weight of the edges.
+    pub cost: f64,
+}
+
+impl Tree {
+    fn new() -> Self {
+        Tree {
+            edges: BTreeSet::new(),
+            cost: 0.0,
+        }
+    }
+
+    fn add_edge(&mut self, u: usize, v: usize, w: f64) {
+        if self.edges.insert((u.min(v), u.max(v))) {
+            self.cost += w;
+        }
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the tree has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Whether the tree connects `a` and `b` using only tree edges.
+    pub fn connects(&self, a: usize, b: usize) -> bool {
+        if a == b {
+            return true;
+        }
+        let mut stack = vec![a];
+        let mut seen = BTreeSet::from([a]);
+        while let Some(u) = stack.pop() {
+            for &(x, y) in &self.edges {
+                let other = if x == u {
+                    y
+                } else if y == u {
+                    x
+                } else {
+                    continue;
+                };
+                if other == b {
+                    return true;
+                }
+                if seen.insert(other) {
+                    stack.push(other);
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Builds the shortest-path tree: the union of one shortest path per source
+/// to the sink (each source routes independently; shared prefixes merge).
+///
+/// Sources unreachable from the sink are skipped.
+///
+/// # Panics
+///
+/// Panics if `sink` or any source is out of bounds.
+pub fn shortest_path_tree(g: &Graph, sink: usize, sources: &[usize]) -> Tree {
+    let sp = dijkstra(g, sink);
+    let mut tree = Tree::new();
+    for &s in sources {
+        let Some(path) = sp.path_to(s) else { continue };
+        for pair in path.windows(2) {
+            let w = edge_weight(g, pair[0], pair[1]);
+            tree.add_edge(pair[0], pair[1], w);
+        }
+    }
+    tree
+}
+
+/// The total cost of routing *without* any path sharing: the sum of each
+/// source's shortest-path distance to the sink (the no-aggregation
+/// baseline).
+pub fn path_sum_cost(g: &Graph, sink: usize, sources: &[usize]) -> f64 {
+    let sp = dijkstra(g, sink);
+    sources
+        .iter()
+        .map(|&s| sp.dist[s])
+        .filter(|d| d.is_finite())
+        .sum()
+}
+
+/// Builds the greedy incremental tree (Takahashi–Matsuyama): connect the
+/// first source by a shortest path, then repeatedly connect the source
+/// closest to the *current tree* via its shortest path to the tree.
+///
+/// This is the classic 2-approximation of the Steiner minimal tree and the
+/// structure greedy aggregation's distributed rules approximate.
+///
+/// Sources unreachable from the sink are skipped.
+///
+/// # Panics
+///
+/// Panics if `sink` or any source is out of bounds.
+pub fn greedy_incremental_tree(g: &Graph, sink: usize, sources: &[usize]) -> Tree {
+    let mut tree = Tree::new();
+    let mut tree_vertices: Vec<usize> = vec![sink];
+    let mut remaining: Vec<usize> = sources.iter().copied().filter(|&s| s != sink).collect();
+    remaining.sort_unstable();
+    remaining.dedup();
+
+    while !remaining.is_empty() {
+        let sp = multi_source_dijkstra(g, &tree_vertices);
+        // Closest remaining source to the current tree; ties by vertex id.
+        let Some((idx, _)) = remaining
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| sp.dist[s].is_finite())
+            .min_by(|&(_, &a), &(_, &b)| {
+                sp.dist[a]
+                    .partial_cmp(&sp.dist[b])
+                    .expect("finite distances")
+                    .then(a.cmp(&b))
+            })
+        else {
+            break; // all remaining sources unreachable
+        };
+        let s = remaining.swap_remove(idx);
+        let path = sp.path_to(s).expect("distance was finite");
+        for pair in path.windows(2) {
+            let w = edge_weight(g, pair[0], pair[1]);
+            tree.add_edge(pair[0], pair[1], w);
+        }
+        for v in path {
+            if !tree_vertices.contains(&v) {
+                tree_vertices.push(v);
+            }
+        }
+    }
+    tree
+}
+
+fn edge_weight(g: &Graph, u: usize, v: usize) -> f64 {
+    g.neighbors(u)
+        .iter()
+        .find(|&&(x, _)| x == v)
+        .map(|&(_, w)| w)
+        .expect("path edge exists in graph")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A "ladder" where the GIT beats the SPT:
+    ///
+    /// ```text
+    ///   s1 - a - b - sink
+    ///   s2 - c /
+    /// ```
+    /// with s2 adjacent to s1: SPT routes s2 via c–b (fresh edges) while GIT
+    /// attaches s2 directly to s1.
+    fn ladder() -> Graph {
+        // 0 = sink, 1 = b, 2 = a, 3 = s1, 4 = c, 5 = s2
+        let mut g = Graph::new(6);
+        g.add_edge(0, 1, 1.0); // sink-b
+        g.add_edge(1, 2, 1.0); // b-a
+        g.add_edge(2, 3, 1.0); // a-s1
+        g.add_edge(1, 4, 1.0); // b-c
+        g.add_edge(4, 5, 1.0); // c-s2
+        g.add_edge(3, 5, 1.0); // s1-s2
+        g
+    }
+
+    #[test]
+    fn spt_is_union_of_shortest_paths() {
+        let g = ladder();
+        let spt = shortest_path_tree(&g, 0, &[3, 5]);
+        // s1: 3-2-1-0 (3 edges); s2: 5-4-1-0 (2 fresh edges, 1 shared).
+        assert_eq!(spt.cost, 5.0);
+        assert!(spt.connects(3, 0));
+        assert!(spt.connects(5, 0));
+    }
+
+    #[test]
+    fn git_shares_paths_early() {
+        let g = ladder();
+        let git = greedy_incremental_tree(&g, 0, &[3, 5]);
+        // First source (tie → lower id 3): 3-2-1-0. Then s2 connects at s1:
+        // one edge. Total 4 < 5.
+        assert_eq!(git.cost, 4.0);
+        assert!(git.connects(3, 0));
+        assert!(git.connects(5, 0));
+    }
+
+    #[test]
+    fn git_never_beats_spt_on_single_source() {
+        let g = ladder();
+        let spt = shortest_path_tree(&g, 0, &[5]);
+        let git = greedy_incremental_tree(&g, 0, &[5]);
+        assert_eq!(spt.cost, git.cost);
+    }
+
+    #[test]
+    fn path_sum_is_no_sharing_baseline() {
+        let g = ladder();
+        // dist(3) = 3 (3-2-1-0), dist(5) = 3 (5-4-1-0).
+        assert_eq!(path_sum_cost(&g, 0, &[3, 5]), 6.0);
+    }
+
+    #[test]
+    fn duplicate_and_sink_sources_are_handled() {
+        let g = ladder();
+        let git = greedy_incremental_tree(&g, 0, &[3, 3, 0]);
+        assert_eq!(git.cost, 3.0);
+        let spt = shortest_path_tree(&g, 0, &[3, 3, 0]);
+        assert_eq!(spt.cost, 3.0);
+    }
+
+    #[test]
+    fn unreachable_sources_are_skipped() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.0);
+        // Vertices 2, 3 disconnected.
+        let git = greedy_incremental_tree(&g, 0, &[1, 3]);
+        assert_eq!(git.cost, 1.0);
+        let spt = shortest_path_tree(&g, 0, &[1, 3]);
+        assert_eq!(spt.cost, 1.0);
+        assert_eq!(path_sum_cost(&g, 0, &[1, 3]), 1.0);
+    }
+
+    #[test]
+    fn tree_connects_is_reflexive_and_respects_edges() {
+        let mut t = Tree::new();
+        t.add_edge(0, 1, 1.0);
+        t.add_edge(1, 2, 1.0);
+        assert!(t.connects(0, 0));
+        assert!(t.connects(0, 2));
+        assert!(!t.connects(0, 5));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_edges_counted_once() {
+        let mut t = Tree::new();
+        t.add_edge(0, 1, 1.0);
+        t.add_edge(1, 0, 1.0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.cost, 1.0);
+    }
+
+    #[test]
+    fn empty_sources_give_empty_trees() {
+        let g = ladder();
+        assert!(greedy_incremental_tree(&g, 0, &[]).is_empty());
+        assert!(shortest_path_tree(&g, 0, &[]).is_empty());
+        assert_eq!(path_sum_cost(&g, 0, &[]), 0.0);
+    }
+}

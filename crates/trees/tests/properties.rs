@@ -1,0 +1,139 @@
+//! Property-based tests for the abstract tree constructions.
+
+use proptest::prelude::*;
+use wsn_sim::SimRng;
+use wsn_trees::{
+    compare_trees, dijkstra, greedy_incremental_tree, path_sum_cost, random_geometric,
+    shortest_path_tree, steiner_cost, steiner_lower_bound,
+};
+
+/// Random geometric graph parameters: (n, seed).
+fn rgg_params() -> impl Strategy<Value = (usize, u64)> {
+    (10usize..80, any::<u64>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Both trees connect every reachable source to the sink.
+    #[test]
+    fn trees_connect_reachable_sources((n, seed) in rgg_params()) {
+        let mut rng = SimRng::from_seed_stream(seed, 0);
+        let (g, _) = random_geometric(n, 150.0, 40.0, &mut rng);
+        let sink = 0;
+        let sources: Vec<usize> = (1..n).step_by((n / 5).max(1)).collect();
+        let sp = dijkstra(&g, sink);
+        let git = greedy_incremental_tree(&g, sink, &sources);
+        let spt = shortest_path_tree(&g, sink, &sources);
+        for &s in &sources {
+            if sp.dist[s].is_finite() {
+                prop_assert!(git.connects(s, sink), "GIT misses source {s}");
+                prop_assert!(spt.connects(s, sink), "SPT misses source {s}");
+            }
+        }
+    }
+
+    /// Cost sandwich: GIT and SPT both cost no more than unshared routing,
+    /// and no tree beats the single longest shortest path.
+    #[test]
+    fn tree_costs_are_sandwiched((n, seed) in rgg_params()) {
+        let mut rng = SimRng::from_seed_stream(seed, 1);
+        let (g, _) = random_geometric(n, 150.0, 40.0, &mut rng);
+        let sink = 0;
+        let sources: Vec<usize> = (1..n).step_by((n / 5).max(1)).collect();
+        let cmp = compare_trees(&g, sink, &sources);
+        prop_assert!(cmp.git_cost <= cmp.no_aggregation_cost + 1e-9);
+        prop_assert!(cmp.spt_cost <= cmp.no_aggregation_cost + 1e-9);
+        let sp = dijkstra(&g, sink);
+        let longest: f64 = sources
+            .iter()
+            .map(|&s| sp.dist[s])
+            .filter(|d| d.is_finite())
+            .fold(0.0, f64::max);
+        prop_assert!(cmp.git_cost >= longest - 1e-9, "GIT beat its own longest path");
+        prop_assert!(cmp.spt_cost >= longest - 1e-9);
+    }
+
+    /// Savings fractions are well-formed.
+    #[test]
+    fn savings_are_fractions((n, seed) in rgg_params()) {
+        let mut rng = SimRng::from_seed_stream(seed, 2);
+        let (g, _) = random_geometric(n, 150.0, 40.0, &mut rng);
+        let sources: Vec<usize> = (1..n).step_by((n / 4).max(1)).collect();
+        let cmp = compare_trees(&g, 0, &sources);
+        let s1 = cmp.git_savings_over_spt();
+        let s2 = cmp.spt_savings_over_no_aggregation();
+        prop_assert!((-1.0..=1.0).contains(&s1), "GIT savings {s1}");
+        prop_assert!((0.0..=1.0).contains(&s2), "SPT savings {s2}");
+    }
+
+    /// Single-source trees coincide with the shortest path.
+    #[test]
+    fn single_source_trees_are_shortest_paths((n, seed) in rgg_params()) {
+        let mut rng = SimRng::from_seed_stream(seed, 3);
+        let (g, _) = random_geometric(n, 150.0, 40.0, &mut rng);
+        let source = n - 1;
+        let sp = dijkstra(&g, 0);
+        let git = greedy_incremental_tree(&g, 0, &[source]);
+        let spt = shortest_path_tree(&g, 0, &[source]);
+        if sp.dist[source].is_finite() {
+            prop_assert!((git.cost - sp.dist[source]).abs() < 1e-9);
+            prop_assert!((spt.cost - sp.dist[source]).abs() < 1e-9);
+            prop_assert_eq!(path_sum_cost(&g, 0, &[source]), sp.dist[source]);
+        } else {
+            prop_assert!(git.is_empty());
+            prop_assert!(spt.is_empty());
+        }
+    }
+
+    /// Dijkstra distances satisfy the triangle inequality over edges.
+    #[test]
+    fn dijkstra_is_locally_optimal((n, seed) in rgg_params()) {
+        let mut rng = SimRng::from_seed_stream(seed, 4);
+        let (g, _) = random_geometric(n, 150.0, 40.0, &mut rng);
+        let sp = dijkstra(&g, 0);
+        for u in 0..n {
+            if !sp.dist[u].is_finite() {
+                continue;
+            }
+            for &(v, w) in g.neighbors(u) {
+                prop_assert!(
+                    sp.dist[v] <= sp.dist[u] + w + 1e-9,
+                    "edge ({u},{v}) violates relaxation"
+                );
+            }
+        }
+    }
+
+    /// The Takahashi–Matsuyama guarantee: GIT ≤ 2·OPT, and OPT is itself at
+    /// least the metric lower bound.
+    #[test]
+    fn git_is_within_twice_the_exact_steiner_optimum((n, seed) in (8usize..35, any::<u64>())) {
+        let mut rng = SimRng::from_seed_stream(seed, 6);
+        let (g, _) = random_geometric(n, 120.0, 40.0, &mut rng);
+        let sources: Vec<usize> = (1..n).step_by((n / 4).max(1)).take(5).collect();
+        let opt = steiner_cost(&g, 0, &sources);
+        let git = greedy_incremental_tree(&g, 0, &sources);
+        let sp = dijkstra(&g, 0);
+        let reachable: Vec<usize> = sources.iter().copied().filter(|&s| sp.dist[s].is_finite()).collect();
+        if reachable.len() == sources.len() && opt.is_finite() {
+            prop_assert!(git.cost >= opt - 1e-9, "GIT {} beat the optimum {}", git.cost, opt);
+            prop_assert!(git.cost <= 2.0 * opt + 1e-9, "GIT {} exceeds 2x optimum {}", git.cost, opt);
+            let lb = steiner_lower_bound(&g, 0, &sources);
+            prop_assert!(opt >= lb - 1e-9, "optimum {} below the lower bound {}", opt, lb);
+        }
+    }
+
+    /// GIT is invariant to duplicate sources.
+    #[test]
+    fn git_ignores_duplicate_sources((n, seed) in rgg_params()) {
+        let mut rng = SimRng::from_seed_stream(seed, 5);
+        let (g, _) = random_geometric(n, 150.0, 40.0, &mut rng);
+        let sources: Vec<usize> = (1..n.min(6)).collect();
+        let mut doubled = sources.clone();
+        doubled.extend_from_slice(&sources);
+        let a = greedy_incremental_tree(&g, 0, &sources);
+        let b = greedy_incremental_tree(&g, 0, &doubled);
+        prop_assert_eq!(a.edges, b.edges);
+    }
+}

@@ -1,0 +1,47 @@
+//! A miniature of the paper's headline experiment (Figure 5): sweep network
+//! density and watch greedy aggregation pull ahead of opportunistic
+//! aggregation as the field gets denser.
+//!
+//! Uses fewer fields and shorter runs than the real harness (`wsn-bench`'s
+//! `fig5` binary) so it finishes in under a minute.
+//!
+//! ```sh
+//! cargo run --release --example density_sweep
+//! ```
+
+use wsn::core::{compare_point, field_seed, MetricKind};
+use wsn::diffusion::{AggregationFn, Scheme};
+use wsn::scenario::ScenarioSpec;
+use wsn::sim::SimDuration;
+
+fn main() {
+    println!(
+        "{:>6} {:>10} {:>14} {:>16} {:>8}",
+        "nodes", "degree", "greedy (J/ev)", "opportunistic", "ratio"
+    );
+    for &n in &[50usize, 125, 200, 275, 350] {
+        let point = compare_point(n as f64, 3, AggregationFn::Perfect, |f| {
+            let mut spec = ScenarioSpec::paper(n, field_seed(2002, n as u64, f as u64));
+            spec.duration = SimDuration::from_secs(120);
+            spec
+        });
+        let g = point.summary(Scheme::Greedy, MetricKind::ActivityEnergy);
+        let o = point.summary(Scheme::Opportunistic, MetricKind::ActivityEnergy);
+        // Approximate average degree for a uniform field (π r² / A · (n−1)).
+        let degree = (n - 1) as f64 * std::f64::consts::PI * 40.0 * 40.0 / (200.0 * 200.0);
+        println!(
+            "{:>6} {:>10.1} {:>14.6} {:>16.6} {:>8.3}",
+            n,
+            degree,
+            g.mean,
+            o.mean,
+            point.energy_ratio()
+        );
+    }
+    println!(
+        "\nThe ratio falling below 1.0 with density is the paper's headline\n\
+         result: greedy and opportunistic aggregation are roughly equivalent\n\
+         in sparse fields, while the greedy incremental tree saves\n\
+         substantially at high density."
+    );
+}

@@ -1,18 +1,48 @@
-//! Criterion micro-benchmarks for the reproduction's hot paths.
+//! Micro-benchmarks for the reproduction's hot paths (std-only harness).
 //!
 //! These are engineering benchmarks (how fast is the simulator), not the
-//! paper's experiments — those are the `fig5`..`fig10` binaries.
+//! paper's experiments — those are the `fig5`..`fig10` binaries. The
+//! harness is a plain `main` (`harness = false`): each benchmark is timed
+//! with `Instant` over a fixed warmup + measurement loop and reported as
+//! median / mean ns per iteration. Iteration counts scale with
+//! `WSN_BENCH_SCALE` (default 1).
 
 use std::hint::black_box;
-use std::time::Duration;
+use std::time::Instant;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wsn_core::Experiment;
 use wsn_diffusion::Scheme;
 use wsn_scenario::{generate_field, ScenarioSpec};
 use wsn_setcover::{exact_cover, greedy_cover, CoverInstance};
 use wsn_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use wsn_trees::{compare_trees, random_geometric, random_sources};
+
+/// Times `iters` runs of `f` (after `warmup` unmeasured runs) and prints a
+/// one-line report.
+fn bench<R>(name: &str, warmup: u64, iters: u64, mut f: impl FnMut() -> R) {
+    let scale: u64 = std::env::var("WSN_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let iters = (iters * scale).max(1);
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let mut samples: Vec<f64> = Vec::with_capacity(iters as usize);
+    let total = Instant::now();
+    for _ in 0..iters {
+        let t = Instant::now();
+        black_box(f());
+        samples.push(t.elapsed().as_secs_f64() * 1e9);
+    }
+    let total = total.elapsed().as_secs_f64();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = samples[samples.len() / 2];
+    let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{name:<28} {iters:>6} iters  median {median:>12.0} ns  mean {mean:>12.0} ns  total {total:>6.2} s"
+    );
+}
 
 /// A reproducible random cover instance with `sets` subsets over `elems`
 /// elements.
@@ -29,92 +59,71 @@ fn random_instance(sets: usize, elems: u32, seed: u64) -> CoverInstance {
     inst
 }
 
-fn bench_setcover(c: &mut Criterion) {
-    let mut group = c.benchmark_group("setcover");
-    group.measurement_time(Duration::from_secs(2));
+fn bench_setcover() {
     for &(sets, elems) in &[(8usize, 12u32), (32, 24), (128, 48)] {
         let inst = random_instance(sets, elems, 42);
-        group.bench_with_input(
-            BenchmarkId::new("greedy", format!("{sets}x{elems}")),
-            &inst,
-            |b, inst| b.iter(|| greedy_cover(black_box(inst))),
-        );
+        bench(&format!("setcover/greedy_{sets}x{elems}"), 10, 200, || {
+            greedy_cover(black_box(&inst))
+        });
     }
     let small = random_instance(10, 14, 7);
-    group.bench_function("exact_10x14", |b| b.iter(|| exact_cover(black_box(&small))));
-    group.finish();
-}
-
-fn bench_event_queue(c: &mut Criterion) {
-    let mut group = c.benchmark_group("event_queue");
-    group.measurement_time(Duration::from_secs(2));
-    group.bench_function("push_pop_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            let mut rng = SimRng::from_seed_stream(1, 0);
-            for i in 0..10_000u64 {
-                q.push(SimTime::from_nanos(rng.next_u64() % 1_000_000_000), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, _, v)) = q.pop() {
-                sum = sum.wrapping_add(v);
-            }
-            black_box(sum)
-        })
+    bench("setcover/exact_10x14", 3, 50, || {
+        exact_cover(black_box(&small))
     });
-    group.finish();
 }
 
-fn bench_trees(c: &mut Criterion) {
-    let mut group = c.benchmark_group("trees");
-    group.measurement_time(Duration::from_secs(3));
+fn bench_event_queue() {
+    bench("event_queue/push_pop_10k", 3, 50, || {
+        let mut q = EventQueue::new();
+        let mut rng = SimRng::from_seed_stream(1, 0);
+        for i in 0..10_000u64 {
+            q.push(SimTime::from_nanos(rng.next_u64() % 1_000_000_000), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, _, v)) = q.pop() {
+            sum = sum.wrapping_add(v);
+        }
+        sum
+    });
+}
+
+fn bench_trees() {
     for &n in &[100usize, 350] {
         let mut rng = SimRng::from_seed_stream(9, n as u64);
         let (g, _) = random_geometric(n, 200.0, 40.0, &mut rng);
         let sources = random_sources(n, 5, 0, &mut rng);
-        group.bench_with_input(BenchmarkId::new("git_vs_spt", n), &(g, sources), |b, (g, s)| {
-            b.iter(|| compare_trees(black_box(g), 0, black_box(s)))
+        bench(&format!("trees/git_vs_spt_{n}"), 3, 50, || {
+            compare_trees(black_box(&g), 0, black_box(&sources))
         });
     }
-    group.finish();
 }
 
-fn bench_field_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scenario");
-    group.measurement_time(Duration::from_secs(2));
-    group.bench_function("generate_field_350", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            let mut rng = SimRng::from_seed_stream(seed, 0);
-            black_box(generate_field(350, 200.0, 40.0, &mut rng))
-        })
+fn bench_field_generation() {
+    let mut seed = 0u64;
+    bench("scenario/generate_field_350", 2, 30, || {
+        seed += 1;
+        let mut rng = SimRng::from_seed_stream(seed, 0);
+        generate_field(350, 200.0, 40.0, &mut rng)
     });
-    group.finish();
 }
 
-fn bench_full_run(c: &mut Criterion) {
-    let mut group = c.benchmark_group("full_run");
-    group.sample_size(10);
-    group.measurement_time(Duration::from_secs(10));
+fn bench_full_run() {
     for scheme in [Scheme::Greedy, Scheme::Opportunistic] {
-        group.bench_function(format!("100_nodes_30s_{scheme}"), |b| {
-            let mut spec = ScenarioSpec::paper(100, 5);
-            spec.duration = SimDuration::from_secs(30);
-            let inst = spec.instantiate();
-            let exp = Experiment::new(spec.clone(), scheme);
-            b.iter(|| black_box(exp.run_on(&inst)))
+        let mut spec = ScenarioSpec::paper(100, 5);
+        spec.duration = SimDuration::from_secs(30);
+        let inst = spec.instantiate();
+        let exp = Experiment::new(spec.clone(), scheme);
+        bench(&format!("full_run/100_nodes_30s_{scheme}"), 1, 5, || {
+            exp.run_on(&inst)
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_setcover,
-    bench_event_queue,
-    bench_trees,
-    bench_field_generation,
-    bench_full_run
-);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench` passes harness flags like `--bench`; ignore them.
+    bench_setcover();
+    bench_event_queue();
+    bench_trees();
+    bench_field_generation();
+    bench_full_run();
+}

@@ -17,7 +17,7 @@
 //! Usage: `cargo run --release -p wsn-bench --bin ablations [-- --fields N]`.
 
 use wsn_bench::HarnessOptions;
-use wsn_core::{compare_point_with, field_seed, MetricKind};
+use wsn_core::{field_seed, run_sweep, MetricKind, Runner};
 use wsn_diffusion::{DiffusionConfig, Scheme};
 use wsn_metrics::FigureTable;
 use wsn_scenario::ScenarioSpec;
@@ -25,7 +25,9 @@ use wsn_sim::SimDuration;
 
 const NODES: usize = 250;
 
+#[allow(clippy::too_many_arguments)]
 fn sweep(
+    runner: &Runner,
     title: &str,
     x_label: &str,
     values: &[f64],
@@ -49,18 +51,22 @@ fn sweep(
         x_label,
         vec!["greedy".into(), "opportunistic".into()],
     );
-    for (pi, &v) in values.iter().enumerate() {
-        let point = compare_point_with(
-            v,
-            fields,
-            |f| {
-                let mut spec =
-                    ScenarioSpec::paper(NODES, field_seed(seed, pi as u64, f as u64));
-                spec.duration = duration;
-                spec
-            },
-            |scheme| configure(scheme, v),
-        );
+    // The whole ablation sweep is one job list: every (value, field,
+    // scheme) run is exposed to the worker pool at once.
+    let points = run_sweep(
+        runner,
+        values,
+        fields,
+        |pi, f| {
+            let mut spec = ScenarioSpec::paper(NODES, field_seed(seed, pi as u64, f as u64));
+            spec.duration = duration;
+            spec
+        },
+        |pi, scheme| configure(scheme, values[pi]),
+    )
+    .expect("ablation sweeps run without a watchdog budget");
+    for point in &points {
+        let v = point.x;
         for (table, metric) in [
             (&mut energy, MetricKind::ActivityEnergy),
             (&mut delay, MetricKind::Delay),
@@ -85,12 +91,17 @@ fn main() {
     let fields = opts.params.fields_per_point.min(5);
     let duration = opts.params.duration;
     let seed = opts.params.seed;
+    let runner = &opts.runner;
 
-    println!("# Ablations at {NODES} nodes, {fields} fields/point\n");
+    println!(
+        "# Ablations at {NODES} nodes, {fields} fields/point, {} workers\n",
+        runner.effective_workers()
+    );
 
     // 1. The sink's reinforcement timer T_p (seconds). T_p = 0 makes greedy
     //    reinforce immediately, before incremental cost offers arrive.
     sweep(
+        runner,
         "Ablation 1: reinforcement timer T_p",
         "T_p (s)",
         &[0.0, 0.25, 0.5, 1.0, 2.0, 5.0],
@@ -106,6 +117,7 @@ fn main() {
     // 2. The aggregation delay T_a (seconds). The truncation window scales
     //    with it as in the paper (T_n = 4·T_a, floor 1 s).
     sweep(
+        runner,
         "Ablation 2: aggregation delay T_a",
         "T_a (s)",
         &[0.05, 0.125, 0.25, 0.5, 1.0, 2.0],
@@ -121,6 +133,7 @@ fn main() {
 
     // 3. The exploratory interval (seconds between exploratory events).
     sweep(
+        runner,
         "Ablation 3: exploratory interval",
         "interval (s)",
         &[10.0, 25.0, 50.0, 100.0],

@@ -43,8 +43,12 @@ fn main() {
         ],
     );
 
-    for f in 0..fields {
-        let mut spec = ScenarioSpec::paper(nodes, field_seed(opts.params.seed ^ 0xBA5E, 0, f as u64));
+    // One job per field; each worker builds (and drops) its own networks.
+    // Results come back keyed by field index, so the tables are identical
+    // to a serial run at any worker count.
+    let field_indices: Vec<u64> = (0..fields as u64).collect();
+    let rows = opts.runner.parallel_map(&field_indices, |_, &f| {
+        let mut spec = ScenarioSpec::paper(nodes, field_seed(opts.params.seed ^ 0xBA5E, 0, f));
         spec.duration = duration;
         let instance = spec.instantiate();
 
@@ -55,11 +59,7 @@ fn main() {
             spec.seed,
             |id| {
                 let (is_source, is_sink) = instance.role_of(id);
-                FloodingNode::new(
-                    FloodingConfig::default(),
-                    id,
-                    Role { is_source, is_sink },
-                )
+                FloodingNode::new(FloodingConfig::default(), id, Role { is_source, is_sink })
             },
         );
         flood_net.run_until(instance.end);
@@ -107,23 +107,25 @@ fn main() {
         // sink counts 5 distinct events per round.
         let omniscient_energy = git.cost * per_frame_j / nodes as f64 / sources.len() as f64;
 
+        (
+            [
+                flood_energy,
+                scheme_energy[0],
+                scheme_energy[1],
+                omniscient_energy,
+            ],
+            [flood_delivery, scheme_delivery[0], scheme_delivery[1], 1.0],
+        )
+    });
+
+    for (f, (energy_row, delivery_row)) in rows.into_iter().enumerate() {
         energy.push_row(
             f as f64,
-            vec![
-                Summary::of([flood_energy]),
-                Summary::of([scheme_energy[0]]),
-                Summary::of([scheme_energy[1]]),
-                Summary::of([omniscient_energy]),
-            ],
+            energy_row.into_iter().map(|v| Summary::of([v])).collect(),
         );
         delivery.push_row(
             f as f64,
-            vec![
-                Summary::of([flood_delivery]),
-                Summary::of([scheme_delivery[0]]),
-                Summary::of([scheme_delivery[1]]),
-                Summary::of([1.0]),
-            ],
+            delivery_row.into_iter().map(|v| Summary::of([v])).collect(),
         );
     }
 

@@ -13,6 +13,7 @@
 //! sources model, and (c) the ICDCS paper's corner placement, as a function
 //! of network density.
 
+use wsn_core::Runner;
 use wsn_metrics::{FigureTable, Summary};
 use wsn_net::{Position, Rect};
 use wsn_sim::SimRng;
@@ -21,6 +22,17 @@ use wsn_trees::{
 };
 
 fn main() {
+    let mut runner = Runner::from_env();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" => {
+                let v = it.next().expect("--jobs needs a value");
+                runner.workers = v.parse().expect("--jobs takes an integer");
+            }
+            other => panic!("unknown argument {other:?}; usage: [--jobs N]"),
+        }
+    }
     let fields_per_point = 10;
     let node_counts = [50usize, 100, 150, 200, 250, 300, 350];
     let mut table = FigureTable::new(
@@ -32,7 +44,8 @@ fn main() {
             "corner (paper)".into(),
         ],
     );
-    for (pi, &n) in node_counts.iter().enumerate() {
+    // One job per density point; savings come back keyed by point index.
+    let per_point = runner.parallel_map(&node_counts, |pi, &n| {
         let mut savings = [Vec::new(), Vec::new(), Vec::new()];
         for f in 0..fields_per_point {
             let mut rng = SimRng::from_seed_stream(2002 + pi as u64, f);
@@ -63,10 +76,10 @@ fn main() {
                 savings[2].push(compare_trees(&g, sink, &corner).git_savings_over_spt());
             }
         }
-        table.push_row(
-            n as f64,
-            savings.into_iter().map(Summary::of).collect(),
-        );
+        savings
+    });
+    for (&n, savings) in node_counts.iter().zip(per_point) {
+        table.push_row(n as f64, savings.into_iter().map(Summary::of).collect());
     }
     println!("{}", table.render_text());
     println!("## CSV\n{}", table.render_csv());

@@ -12,8 +12,8 @@
 //! ```
 
 use wsn_bench::HarnessOptions;
-use wsn_core::{field_seed, Experiment};
-use wsn_diffusion::Scheme;
+use wsn_core::{collect_points, field_seed, sweep_jobs, MetricKind};
+use wsn_diffusion::{DiffusionConfig, Scheme};
 use wsn_metrics::{FigureTable, Summary};
 use wsn_scenario::ScenarioSpec;
 
@@ -25,34 +25,38 @@ fn main() {
     let mut table = FigureTable::new(
         "MAC-overhead ablation at 250 nodes — Average Dissipated Energy (J/node/event)",
         "mac",
-        vec![
-            "greedy".into(),
-            "opportunistic".into(),
-            "ratio g/o".into(),
-        ],
+        vec!["greedy".into(), "opportunistic".into(), "ratio g/o".into()],
     );
-    for (mi, (label, rts_cts)) in [("csma+ack", false), ("rts/cts", true)].iter().enumerate() {
-        let mut greedy = Vec::new();
-        let mut opportunistic = Vec::new();
-        for f in 0..fields {
-            let mut spec = ScenarioSpec::paper(250, field_seed(opts.params.seed ^ 0xACC, 0, f as u64));
+    // The two MAC variants are the sweep points; identical fields under
+    // both (the seed ignores the point index). The RTS/CTS switch lives in
+    // each job's NetConfig, set after materialization.
+    let macs = [("csma+ack", false), ("rts/cts", true)];
+    let xs = [0.0, 1.0];
+    let mut jobs = sweep_jobs(
+        &xs,
+        fields,
+        |_, f| {
+            let mut spec =
+                ScenarioSpec::paper(250, field_seed(opts.params.seed ^ 0xACC, 0, f as u64));
             spec.duration = duration;
-            let instance = spec.instantiate();
-            for scheme in [Scheme::Greedy, Scheme::Opportunistic] {
-                let mut exp = Experiment::new(spec.clone(), scheme);
-                exp.net.rts_cts = *rts_cts;
-                let m = exp.run_on(&instance).record.metrics();
-                match scheme {
-                    Scheme::Greedy => greedy.push(m.avg_activity_energy),
-                    Scheme::Opportunistic => opportunistic.push(m.avg_activity_energy),
-                }
-            }
-        }
-        let g = Summary::of(greedy.iter().copied());
-        let o = Summary::of(opportunistic.iter().copied());
+            spec
+        },
+        |_, scheme| DiffusionConfig::for_scheme(scheme),
+    );
+    for job in &mut jobs {
+        job.net.rts_cts = macs[job.point_index].1;
+    }
+    let points = collect_points(&opts.runner, &xs, &jobs)
+        .expect("mac-overhead sweeps run without a watchdog budget");
+    for (mi, point) in points.iter().enumerate() {
+        let g = point.summary(Scheme::Greedy, MetricKind::ActivityEnergy);
+        let o = point.summary(Scheme::Opportunistic, MetricKind::ActivityEnergy);
         let ratio = if o.mean > 0.0 { g.mean / o.mean } else { 1.0 };
         table.push_row(mi as f64, vec![g, o, Summary::of([ratio])]);
-        println!("# {label}: greedy {:.6}, opportunistic {:.6}, ratio {:.3}", g.mean, o.mean, ratio);
+        println!(
+            "# {}: greedy {:.6}, opportunistic {:.6}, ratio {:.3}",
+            macs[mi].0, g.mean, o.mean, ratio
+        );
     }
     println!("\n{}", table.render_text());
     println!("# row 0 = csma+ack (this repo's default), row 1 = rts/cts (ns-2 default)");

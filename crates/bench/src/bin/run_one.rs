@@ -6,6 +6,9 @@
 //! cargo run --release -p wsn-bench --bin run_one -- \
 //!     --nodes 250 --scheme greedy --duration 200 --seed 7 --svg field.svg
 //! ```
+//!
+//! `--max-events N` arms the watchdog: the run aborts (exit status 2) if it
+//! would dispatch more than `N` simulator events before the deadline.
 
 use wsn_diffusion::{DiffusionConfig, DiffusionNode, MsgKind, Role, Scheme};
 use wsn_metrics::RunRecord;
@@ -23,6 +26,7 @@ struct Args {
     failures: bool,
     random_sources: bool,
     svg: Option<String>,
+    max_events: Option<u64>,
 }
 
 fn parse_args() -> Args {
@@ -36,6 +40,7 @@ fn parse_args() -> Args {
         failures: false,
         random_sources: false,
         svg: None,
+        max_events: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -56,9 +61,8 @@ fn parse_args() -> Args {
             "--failures" => args.failures = true,
             "--random-sources" => args.random_sources = true,
             "--svg" => args.svg = Some(val()),
-            other => panic!(
-                "unknown argument {other:?}; see the module docs of run_one for usage"
-            ),
+            "--max-events" => args.max_events = Some(val().parse().expect("--max-events")),
+            other => panic!("unknown argument {other:?}; see the module docs of run_one for usage"),
         }
     }
     args
@@ -108,7 +112,10 @@ fn main() {
         }
     }
     let wall = std::time::Instant::now();
-    net.run_until(instance.end);
+    if let Err(err) = net.run_until_capped(instance.end, args.max_events.unwrap_or(u64::MAX)) {
+        eprintln!("error: {err}");
+        std::process::exit(2);
+    }
     let wall = wall.elapsed();
 
     // Harvest.
@@ -140,8 +147,14 @@ fn main() {
     };
     let m = record.metrics();
     println!("\nmetrics:");
-    println!("  avg dissipated energy (total): {:.6} J/node/event", m.avg_dissipated_energy);
-    println!("  avg dissipated energy (tx+rx): {:.6} J/node/event", m.avg_activity_energy);
+    println!(
+        "  avg dissipated energy (total): {:.6} J/node/event",
+        m.avg_dissipated_energy
+    );
+    println!(
+        "  avg dissipated energy (tx+rx): {:.6} J/node/event",
+        m.avg_activity_energy
+    );
     println!("  avg delay:                     {:.3} s", m.avg_delay_s);
     println!("  distinct-event delivery ratio: {:.3}", m.delivery_ratio);
     let mut all_delays = wsn_diffusion::SinkStats::default();
@@ -159,10 +172,18 @@ fn main() {
         );
     }
     println!("\nphysical layer:");
-    println!("  frames {} ({} bytes), collisions {}, retries {}, failed unicasts {}",
-        record.tx_frames, record.tx_bytes, record.collisions,
-        stats.total_retries(), stats.total_failed());
-    println!("  energy {:.1} J total / {:.1} J communication", record.total_energy_j, record.activity_energy_j);
+    println!(
+        "  frames {} ({} bytes), collisions {}, retries {}, failed unicasts {}",
+        record.tx_frames,
+        record.tx_bytes,
+        record.collisions,
+        stats.total_retries(),
+        stats.total_failed()
+    );
+    println!(
+        "  energy {:.1} J total / {:.1} J communication",
+        record.total_energy_j, record.activity_energy_j
+    );
     let hotspot = (0..args.nodes)
         .map(wsn_net::NodeId::from_index)
         .map(|id| (id, net.activity_energy(id)))
@@ -179,7 +200,13 @@ fn main() {
         let n: u64 = net.protocols().map(|(_, p)| p.counters.sent(kind)).sum();
         println!("  {kind:?}: {n}");
     }
-    println!("\nsimulated {:.0} s in {:.2} s wall time", record.duration_s, wall.as_secs_f64());
+    let accounting = net.accounting();
+    println!(
+        "\nsimulated {:.0} s ({} events) in {:.2} s wall time",
+        record.duration_s,
+        accounting.events_processed,
+        wall.as_secs_f64()
+    );
 
     if let Some(path) = args.svg {
         let now = net.now();

@@ -7,7 +7,15 @@
 //! * `--quick` — a reduced sweep for smoke-testing (2 fields, 60 s runs);
 //! * `--fields N` — override the fields-per-point count;
 //! * `--duration SECS` — override the simulated duration;
-//! * `--seed SEED` — override the master seed (default 2002).
+//! * `--seed SEED` — override the master seed (default 2002);
+//! * `--jobs N` — worker threads for the run-execution layer (default: the
+//!   `WSN_JOBS` environment variable, else one per CPU; results are
+//!   bit-identical at any worker count);
+//! * `--max-events N` — per-run watchdog budget (max dispatched simulator
+//!   events); a run that exceeds it aborts the sweep with an error naming
+//!   the offending `(point, field, scheme)`;
+//! * `--progress` — per-job progress lines on stderr (point, field, scheme,
+//!   simulator events, wall ms).
 //!
 //! Output is the three metric panels of the figure as aligned text tables
 //! (mean ± standard deviation over fields) followed by CSV blocks, suitable
@@ -17,7 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use wsn_core::{run_figure, Figure, FigureData, FigureParams};
+use wsn_core::{run_figure_with, Figure, FigureData, FigureParams, Runner};
 use wsn_sim::SimDuration;
 
 /// Command-line options shared by the figure binaries.
@@ -27,6 +35,8 @@ pub struct HarnessOptions {
     pub params: FigureParams,
     /// Also print CSV blocks after the text tables.
     pub csv: bool,
+    /// The run-execution layer configuration (workers, watchdog, progress).
+    pub runner: Runner,
 }
 
 impl HarnessOptions {
@@ -41,11 +51,13 @@ impl HarnessOptions {
         let mut fields: Option<usize> = None;
         let mut duration: Option<u64> = None;
         let mut csv = true;
+        let mut runner = Runner::from_env();
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--quick" => quick = true,
                 "--no-csv" => csv = false,
+                "--progress" => runner.progress = true,
                 "--fields" => {
                     let v = it.next().expect("--fields needs a value");
                     fields = Some(v.parse().expect("--fields takes an integer"));
@@ -58,8 +70,17 @@ impl HarnessOptions {
                     let v = it.next().expect("--seed needs a value");
                     seed = v.parse().expect("--seed takes an integer");
                 }
+                "--jobs" => {
+                    let v = it.next().expect("--jobs needs a value");
+                    runner.workers = v.parse().expect("--jobs takes an integer");
+                }
+                "--max-events" => {
+                    let v = it.next().expect("--max-events needs a value");
+                    runner.max_events = Some(v.parse().expect("--max-events takes an integer"));
+                }
                 other => panic!(
-                    "unknown argument {other:?}; usage: [--quick] [--fields N] [--duration SECS] [--seed SEED] [--no-csv]"
+                    "unknown argument {other:?}; usage: [--quick] [--fields N] [--duration SECS] \
+                     [--seed SEED] [--no-csv] [--jobs N] [--max-events N] [--progress]"
                 ),
             }
         }
@@ -74,7 +95,11 @@ impl HarnessOptions {
         if let Some(d) = duration {
             params.duration = SimDuration::from_secs(d);
         }
-        HarnessOptions { params, csv }
+        HarnessOptions {
+            params,
+            csv,
+            runner,
+        }
     }
 
     /// Parses from the process arguments.
@@ -83,10 +108,20 @@ impl HarnessOptions {
     }
 }
 
-/// Runs `figure` and prints its panels (and CSV, if enabled).
+/// Runs `figure` on the options' runner and prints its panels (and CSV, if
+/// enabled).
+///
+/// Exits the process with status 2 if a run trips the watchdog budget
+/// (`--max-events`); the error names the offending `(point, field, scheme)`.
 pub fn run_and_print(figure: Figure, opts: &HarnessOptions) -> FigureData {
     let start = std::time::Instant::now();
-    let data = run_figure(figure, &opts.params);
+    let data = match run_figure_with(figure, &opts.params, &opts.runner) {
+        Ok(data) => data,
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(2);
+        }
+    };
     println!("{}", data.render_text());
     if opts.csv {
         println!("## CSV: energy\n{}", data.energy.render_csv());
@@ -94,10 +129,11 @@ pub fn run_and_print(figure: Figure, opts: &HarnessOptions) -> FigureData {
         println!("## CSV: delivery\n{}", data.delivery.render_csv());
     }
     println!(
-        "# regenerated in {:.1}s wall time ({} fields/point, {} runs/point)\n",
+        "# regenerated in {:.1}s wall time ({} fields/point, {} runs/point, {} workers)\n",
         start.elapsed().as_secs_f64(),
         opts.params.fields_per_point,
         opts.params.fields_per_point * 2,
+        opts.runner.effective_workers(),
     );
     data
 }
@@ -116,6 +152,7 @@ mod tests {
         assert_eq!(o.params.fields_per_point, 10);
         assert_eq!(o.params.node_counts.len(), 7);
         assert!(o.csv);
+        assert_eq!(o.runner.max_events, None);
     }
 
     #[test]
@@ -127,12 +164,28 @@ mod tests {
     #[test]
     fn overrides_apply() {
         let o = HarnessOptions::parse(s(&[
-            "--quick", "--fields", "4", "--duration", "80", "--seed", "7", "--no-csv",
+            "--quick",
+            "--fields",
+            "4",
+            "--duration",
+            "80",
+            "--seed",
+            "7",
+            "--no-csv",
         ]));
         assert_eq!(o.params.fields_per_point, 4);
         assert_eq!(o.params.duration, SimDuration::from_secs(80));
         assert_eq!(o.params.seed, 7);
         assert!(!o.csv);
+    }
+
+    #[test]
+    fn runner_flags_apply() {
+        let o = HarnessOptions::parse(s(&["--jobs", "3", "--max-events", "5000", "--progress"]));
+        assert_eq!(o.runner.workers, 3);
+        assert_eq!(o.runner.effective_workers(), 3);
+        assert_eq!(o.runner.max_events, Some(5000));
+        assert!(o.runner.progress);
     }
 
     #[test]

@@ -2,8 +2,9 @@
 
 use wsn_diffusion::{DiffusionConfig, DiffusionNode, Role, Scheme};
 use wsn_metrics::RunRecord;
-use wsn_net::{NetConfig, Network, NodeId};
+use wsn_net::{EventBudgetExceeded, NetConfig, Network, NodeId};
 use wsn_scenario::{ScenarioInstance, ScenarioSpec};
+use wsn_sim::RunAccounting;
 
 /// A fully specified experiment run.
 ///
@@ -44,6 +45,8 @@ pub struct RunOutcome {
     /// ("aggregated data paths introduce traffic concentration ... which
     /// adversely impacts network lifetime").
     pub hotspot: (NodeId, f64),
+    /// Simulator run accounting (events dispatched, final clock, backlog).
+    pub accounting: RunAccounting,
 }
 
 impl Experiment {
@@ -69,6 +72,36 @@ impl Experiment {
     /// Runs on an already instantiated scenario (lets paired comparisons
     /// share one instantiation).
     pub fn run_on(&self, instance: &ScenarioInstance) -> RunOutcome {
+        self.run_on_budgeted(instance, u64::MAX)
+            .expect("u64::MAX event budget cannot be exhausted")
+    }
+
+    /// Runs the experiment under a watchdog budget of at most `max_events`
+    /// dispatched simulator events.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventBudgetExceeded`] if the simulation would need more
+    /// than `max_events` events to reach the scenario's end time. The run
+    /// execution layer ([`crate::Runner`]) uses this to turn a runaway
+    /// simulation into a reported job error instead of a hung sweep.
+    pub fn run_budgeted(&self, max_events: u64) -> Result<RunOutcome, EventBudgetExceeded> {
+        let instance = self.scenario.instantiate();
+        self.run_on_budgeted(&instance, max_events)
+    }
+
+    /// [`run_on`](Experiment::run_on) under a watchdog budget; see
+    /// [`run_budgeted`](Experiment::run_budgeted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventBudgetExceeded`] if the budget runs out before the
+    /// scenario's end time.
+    pub fn run_on_budgeted(
+        &self,
+        instance: &ScenarioInstance,
+        max_events: u64,
+    ) -> Result<RunOutcome, EventBudgetExceeded> {
         let diffusion = self.diffusion.clone();
         let mut net = Network::new(
             instance.field.topology.clone(),
@@ -86,7 +119,7 @@ impl Experiment {
                 net.schedule_up(e.at, e.node);
             }
         }
-        net.run_until(instance.end);
+        net.run_until_capped(instance.end, max_events)?;
 
         let mut distinct_events = 0;
         let mut delay_sum_s = 0.0;
@@ -123,11 +156,12 @@ impl Experiment {
             tx_bytes: stats.total_tx_bytes(),
             collisions: stats.collisions,
         };
-        RunOutcome {
+        Ok(RunOutcome {
             record,
             per_sink_distinct,
             items_dropped_no_gradient: items_dropped,
             hotspot,
-        }
+            accounting: net.accounting(),
+        })
     }
 }

@@ -10,7 +10,10 @@ use wsn_metrics::FigureTable;
 use wsn_scenario::{FailureConfig, ScenarioSpec, SourcePlacement};
 use wsn_sim::SimDuration;
 
-use crate::sweep::{compare_point, field_seed, ComparisonPoint, MetricKind};
+use wsn_diffusion::DiffusionConfig;
+
+use crate::runner::{JobError, Runner};
+use crate::sweep::{field_seed, run_sweep, ComparisonPoint, MetricKind};
 
 /// The figures of the paper's evaluation section.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -160,8 +163,62 @@ impl FigureData {
     }
 }
 
-/// Regenerates one figure.
+/// The scenario for one `(figure, point, field)` cell of a figure sweep.
+fn figure_spec(
+    figure: Figure,
+    params: &FigureParams,
+    x: usize,
+    pi: usize,
+    f: usize,
+) -> ScenarioSpec {
+    let seed = field_seed(
+        params.seed ^ figure.stream().wrapping_mul(0x0000_0100_0000_01b3),
+        pi as u64,
+        f as u64,
+    );
+    let mut spec = match figure {
+        Figure::Fig5Comparative => ScenarioSpec::paper(x, seed),
+        Figure::Fig6NodeFailures => ScenarioSpec {
+            failures: Some(FailureConfig::default()),
+            ..ScenarioSpec::paper(x, seed)
+        },
+        Figure::Fig7RandomSources => ScenarioSpec {
+            source_placement: SourcePlacement::Uniform,
+            ..ScenarioSpec::paper(x, seed)
+        },
+        Figure::Fig8NumberOfSinks => ScenarioSpec {
+            num_sinks: x,
+            ..ScenarioSpec::paper(params.dense_field_nodes, seed)
+        },
+        Figure::Fig9NumberOfSources | Figure::Fig10LinearAggregation => ScenarioSpec {
+            num_sources: x,
+            ..ScenarioSpec::paper(params.dense_field_nodes, seed)
+        },
+    };
+    spec.duration = params.duration;
+    spec
+}
+
+/// Regenerates one figure on [`Runner::from_env`] (serial unless `WSN_JOBS`
+/// says otherwise, no watchdog).
 pub fn run_figure(figure: Figure, params: &FigureParams) -> FigureData {
+    run_figure_with(figure, params, &Runner::from_env())
+        .expect("a runner without a watchdog budget cannot fail")
+}
+
+/// Regenerates one figure, executing the full `(point, field, scheme)` job
+/// list on `runner` — every run of the figure is exposed to the worker
+/// pool at once, so parallelism is not limited to within one sweep point.
+///
+/// # Errors
+///
+/// Returns the first [`JobError`] in job order if the runner's watchdog
+/// budget was exceeded.
+pub fn run_figure_with(
+    figure: Figure,
+    params: &FigureParams,
+    runner: &Runner,
+) -> Result<FigureData, JobError> {
     let aggregation = match figure {
         Figure::Fig10LinearAggregation => AggregationFn::LINEAR_PAPER,
         _ => AggregationFn::Perfect,
@@ -173,39 +230,17 @@ pub fn run_figure(figure: Figure, params: &FigureParams) -> FigureData {
         }
         _ => params.node_counts.clone(),
     };
-
-    let mut points = Vec::with_capacity(xs.len());
-    for (pi, &x) in xs.iter().enumerate() {
-        let point = compare_point(x as f64, params.fields_per_point, aggregation, |f| {
-            let seed = field_seed(
-                params.seed ^ figure.stream().wrapping_mul(0x0000_0100_0000_01b3),
-                pi as u64,
-                f as u64,
-            );
-            let mut spec = match figure {
-                Figure::Fig5Comparative => ScenarioSpec::paper(x, seed),
-                Figure::Fig6NodeFailures => ScenarioSpec {
-                    failures: Some(FailureConfig::default()),
-                    ..ScenarioSpec::paper(x, seed)
-                },
-                Figure::Fig7RandomSources => ScenarioSpec {
-                    source_placement: SourcePlacement::Uniform,
-                    ..ScenarioSpec::paper(x, seed)
-                },
-                Figure::Fig8NumberOfSinks => ScenarioSpec {
-                    num_sinks: x,
-                    ..ScenarioSpec::paper(params.dense_field_nodes, seed)
-                },
-                Figure::Fig9NumberOfSources | Figure::Fig10LinearAggregation => ScenarioSpec {
-                    num_sources: x,
-                    ..ScenarioSpec::paper(params.dense_field_nodes, seed)
-                },
-            };
-            spec.duration = params.duration;
-            spec
-        });
-        points.push(point);
-    }
+    let xs_f64: Vec<f64> = xs.iter().map(|&x| x as f64).collect();
+    let points = run_sweep(
+        runner,
+        &xs_f64,
+        params.fields_per_point,
+        |pi, f| figure_spec(figure, params, xs[pi], pi, f),
+        |_, scheme| DiffusionConfig {
+            aggregation,
+            ..DiffusionConfig::for_scheme(scheme)
+        },
+    )?;
 
     let columns = vec!["greedy".to_string(), "opportunistic".to_string()];
     let panel_metrics = [
@@ -239,14 +274,14 @@ pub fn run_figure(figure: Figure, params: &FigureParams) -> FigureData {
     let delivery = tables.pop().expect("three tables");
     let delay = tables.pop().expect("two tables");
     let energy = tables.pop().expect("one table");
-    FigureData {
+    Ok(FigureData {
         figure,
         energy,
         energy_total,
         delay,
         delivery,
         points,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -277,8 +312,7 @@ mod tests {
 
     #[test]
     fn streams_are_distinct() {
-        let set: std::collections::HashSet<u64> =
-            Figure::ALL.iter().map(|f| f.stream()).collect();
+        let set: std::collections::HashSet<u64> = Figure::ALL.iter().map(|f| f.stream()).collect();
         assert_eq!(set.len(), Figure::ALL.len());
     }
 }

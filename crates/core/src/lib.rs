@@ -6,10 +6,14 @@
 //!
 //! * [`Experiment`] — one scenario + one scheme + one seed → a
 //!   [`wsn_metrics::RunRecord`];
+//! * [`RunJob`] / [`Runner`] — the deterministic parallel run-execution
+//!   layer: a sweep materializes as a job list and executes across
+//!   `std::thread::scope` workers with bit-identical results at any worker
+//!   count (see the [`runner`](crate::Runner) module docs);
 //! * [`compare_point`] — paired greedy/opportunistic runs on identical
 //!   fields;
 //! * [`run_figure`] — regenerates any of the paper's Figures 5–10 as three
-//!   metric tables.
+//!   metric tables ([`run_figure_with`] for an explicit runner).
 //!
 //! # Examples
 //!
@@ -34,8 +38,13 @@
 
 mod experiment;
 mod figures;
+mod runner;
 mod sweep;
 
 pub use experiment::{Experiment, RunOutcome};
-pub use figures::{run_figure, Figure, FigureData, FigureParams};
-pub use sweep::{compare_point, compare_point_with, field_seed, ComparisonPoint, MetricKind};
+pub use figures::{run_figure, run_figure_with, Figure, FigureData, FigureParams};
+pub use runner::{JobError, JobReport, RunJob, Runner};
+pub use sweep::{
+    collect_points, compare_point, compare_point_with, field_seed, run_sweep, sweep_jobs,
+    ComparisonPoint, MetricKind,
+};

@@ -1,0 +1,330 @@
+//! The deterministic parallel run-execution layer.
+//!
+//! A sweep is a bag of independent simulation runs: every `(sweep point,
+//! field, scheme)` triple is a pure function of its [`ScenarioSpec`] (which
+//! carries the seed) and protocol/physical configuration. [`RunJob`] names
+//! one such run as a plain value; [`Runner`] executes a materialized job
+//! list across `std::thread::scope` workers and returns results *keyed by
+//! job index*, so the assembled output is bit-identical regardless of which
+//! worker finished which job first — and identical to a serial run.
+//!
+//! Determinism argument, in full:
+//!
+//! 1. each job owns its inputs (no shared mutable simulation state), and a
+//!    run is a pure function of those inputs (`wsn-sim`'s contract);
+//! 2. workers pull job *indices* from an atomic cursor and write results
+//!    into the slot of the same index — scheduling affects only *when* a
+//!    slot is filled, never *which* value fills it;
+//! 3. assembly ([`crate::collect_points`]) iterates slots in index order.
+//!
+//! Worker count therefore changes wall-clock time and nothing else.
+//!
+//! The runner doubles as a watchdog: [`Runner::max_events`] (or a per-job
+//! [`RunJob::max_events`] override) bounds the number of simulator events a
+//! job may dispatch, so one runaway simulation surfaces as a [`JobError`]
+//! naming the offending `(point, field, scheme)` instead of hanging the
+//! whole sweep; sibling jobs complete normally.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use wsn_diffusion::{DiffusionConfig, Scheme};
+use wsn_metrics::PaperMetrics;
+use wsn_net::{EventBudgetExceeded, NetConfig};
+use wsn_scenario::ScenarioSpec;
+use wsn_sim::RunAccounting;
+
+use crate::experiment::Experiment;
+
+/// One fully specified simulation run inside a sweep: plain data in, plain
+/// data out, safe to execute on any worker thread.
+#[derive(Debug, Clone)]
+pub struct RunJob {
+    /// Index of the sweep point this job belongs to (slot in the output).
+    pub point_index: usize,
+    /// The sweep-axis value (node count, sink count, ...), for reporting.
+    pub point_x: f64,
+    /// Which independently generated field within the point.
+    pub field_index: usize,
+    /// The aggregation scheme under test.
+    pub scheme: Scheme,
+    /// The scenario, including the per-field seed.
+    pub spec: ScenarioSpec,
+    /// Protocol parameters (timers, aggregation function, ...).
+    pub config: DiffusionConfig,
+    /// Physical/MAC parameters.
+    pub net: NetConfig,
+    /// Per-job watchdog override; `None` defers to [`Runner::max_events`].
+    pub max_events: Option<u64>,
+}
+
+impl RunJob {
+    /// The scenario seed (convenience; the seed lives in [`RunJob::spec`]).
+    pub fn seed(&self) -> u64 {
+        self.spec.seed
+    }
+}
+
+/// What one completed job reports back.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// The paper's metrics triple for the run.
+    pub metrics: PaperMetrics,
+    /// Simulator accounting (events dispatched, final clock, backlog).
+    pub accounting: RunAccounting,
+    /// Wall-clock milliseconds the job took (informational; never feeds
+    /// back into results).
+    pub wall_ms: f64,
+}
+
+/// A job that tripped the watchdog, identified by its sweep coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobError {
+    /// Index of the sweep point the failing job belonged to.
+    pub point_index: usize,
+    /// The sweep-axis value of that point.
+    pub point_x: f64,
+    /// The field index within the point.
+    pub field_index: usize,
+    /// The scheme the failing job was running.
+    pub scheme: Scheme,
+    /// The underlying budget violation.
+    pub cause: EventBudgetExceeded,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "job (point {} at x={}, field {}, {}): {}",
+            self.point_index, self.point_x, self.field_index, self.scheme, self.cause
+        )
+    }
+}
+
+impl std::error::Error for JobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.cause)
+    }
+}
+
+/// Executes [`RunJob`] lists across a configurable number of worker
+/// threads, deterministically (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Runner {
+    /// Worker-thread count; `0` means one per available CPU.
+    pub workers: usize,
+    /// Default per-job watchdog budget (max dispatched simulator events);
+    /// `None` disables the watchdog.
+    pub max_events: Option<u64>,
+    /// Emit one structured progress line per finished job on stderr.
+    pub progress: bool,
+}
+
+impl Runner {
+    /// A single-worker runner with no watchdog and no progress output.
+    pub fn serial() -> Self {
+        Runner {
+            workers: 1,
+            max_events: None,
+            progress: false,
+        }
+    }
+
+    /// A runner with `workers` worker threads (`0` = one per CPU).
+    pub fn new(workers: usize) -> Self {
+        Runner {
+            workers,
+            ..Runner::serial()
+        }
+    }
+
+    /// Worker count from the `WSN_JOBS` environment variable (default: one
+    /// worker per available CPU; `WSN_JOBS=1` forces serial execution).
+    pub fn from_env() -> Self {
+        let workers = std::env::var("WSN_JOBS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        Runner::new(workers)
+    }
+
+    /// The worker count actually used: `workers`, or the available CPU
+    /// parallelism when `workers == 0`.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+
+    /// Executes every job and returns one result per job, in job order.
+    ///
+    /// A [`JobError`] in one slot (watchdog budget exhausted) does not
+    /// affect sibling jobs; they run to completion.
+    pub fn run(&self, jobs: &[RunJob]) -> Vec<Result<JobReport, JobError>> {
+        self.parallel_map(jobs, |_, job| self.execute(job))
+    }
+
+    /// Runs one job inline on the current thread.
+    fn execute(&self, job: &RunJob) -> Result<JobReport, JobError> {
+        let budget = job.max_events.or(self.max_events).unwrap_or(u64::MAX);
+        let start = Instant::now();
+        let mut exp = Experiment::new(job.spec.clone(), job.scheme);
+        exp.diffusion = job.config.clone();
+        exp.diffusion.scheme = job.scheme;
+        exp.net = job.net.clone();
+        let result = exp.run_budgeted(budget);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        match result {
+            Ok(outcome) => {
+                let report = JobReport {
+                    metrics: outcome.record.metrics(),
+                    accounting: outcome.accounting,
+                    wall_ms,
+                };
+                if self.progress {
+                    eprintln!(
+                        "# job point={} field={} scheme={} events={} sim_s={:.1} wall_ms={:.0}",
+                        job.point_x,
+                        job.field_index,
+                        job.scheme,
+                        report.accounting.events_processed,
+                        report.accounting.final_time.as_secs_f64(),
+                        wall_ms,
+                    );
+                }
+                Ok(report)
+            }
+            Err(cause) => {
+                if self.progress {
+                    eprintln!(
+                        "# job point={} field={} scheme={} events={} sim_s={:.1} wall_ms={:.0} ERROR budget",
+                        job.point_x,
+                        job.field_index,
+                        job.scheme,
+                        cause.events_processed,
+                        cause.sim_time.as_secs_f64(),
+                        wall_ms,
+                    );
+                }
+                Err(JobError {
+                    point_index: job.point_index,
+                    point_x: job.point_x,
+                    field_index: job.field_index,
+                    scheme: job.scheme,
+                    cause,
+                })
+            }
+        }
+    }
+
+    /// The runner's scheduling primitive: applies `f` to every item and
+    /// returns the outputs in item order, regardless of which worker
+    /// computed which item.
+    ///
+    /// Workers claim item *indices* from a shared atomic cursor and deposit
+    /// each output in the slot of the same index, so the output vector is
+    /// independent of scheduling. `f` must itself be deterministic in
+    /// `(index, item)` for the whole map to be; simulation runs are
+    /// (`wsn-sim`'s determinism contract).
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from `f` after all workers stop.
+    pub fn parallel_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let workers = self.effective_workers().min(items.len().max(1));
+        if workers <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    let out = f(i, item);
+                    *slots[i].lock().expect("result slot poisoned") = Some(out);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every claimed slot is filled before scope exit")
+            })
+            .collect()
+    }
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_item_order() {
+        let runner = Runner::new(4);
+        let items: Vec<usize> = (0..64).collect();
+        let out = runner.parallel_map(&items, |i, &x| {
+            assert_eq!(i, x);
+            x * x
+        });
+        assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_matches_serial() {
+        let items: Vec<u64> = (0..40).collect();
+        let f = |_: usize, &x: &u64| wsn_sim::splitmix64(x);
+        let serial = Runner::serial().parallel_map(&items, f);
+        for workers in [2, 3, 8] {
+            assert_eq!(Runner::new(workers).parallel_map(&items, f), serial);
+        }
+    }
+
+    #[test]
+    fn effective_workers_resolves_zero() {
+        assert!(Runner::new(0).effective_workers() >= 1);
+        assert_eq!(Runner::new(3).effective_workers(), 3);
+    }
+
+    #[test]
+    fn job_error_display_names_coordinates() {
+        use wsn_sim::SimTime;
+        let err = JobError {
+            point_index: 2,
+            point_x: 250.0,
+            field_index: 3,
+            scheme: Scheme::Greedy,
+            cause: EventBudgetExceeded {
+                budget: 1000,
+                events_processed: 1000,
+                sim_time: SimTime::from_secs(4),
+                deadline: SimTime::from_secs(200),
+            },
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("point 2"), "{msg}");
+        assert!(msg.contains("field 3"), "{msg}");
+        assert!(msg.contains("greedy"), "{msg}");
+        assert!(msg.contains("1000"), "{msg}");
+    }
+}

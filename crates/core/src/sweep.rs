@@ -7,10 +7,11 @@
 
 use wsn_diffusion::{AggregationFn, DiffusionConfig, Scheme};
 use wsn_metrics::{PaperMetrics, Summary};
+use wsn_net::NetConfig;
 use wsn_scenario::ScenarioSpec;
 use wsn_sim::splitmix64;
 
-use crate::experiment::Experiment;
+use crate::runner::{JobError, RunJob, Runner};
 
 /// The paired results of one sweep point.
 #[derive(Debug, Clone)]
@@ -37,8 +38,12 @@ impl ComparisonPoint {
     /// communication energy (the paper's headline comparison; < 1 means
     /// greedy saves energy).
     pub fn energy_ratio(&self) -> f64 {
-        let g = self.summary(Scheme::Greedy, MetricKind::ActivityEnergy).mean;
-        let o = self.summary(Scheme::Opportunistic, MetricKind::ActivityEnergy).mean;
+        let g = self
+            .summary(Scheme::Greedy, MetricKind::ActivityEnergy)
+            .mean;
+        let o = self
+            .summary(Scheme::Opportunistic, MetricKind::ActivityEnergy)
+            .mean;
         if o == 0.0 {
             1.0
         } else {
@@ -92,11 +97,112 @@ impl MetricKind {
     }
 }
 
+/// Materializes the full job list for a sweep: for every point in `xs`,
+/// `fields` paired greedy/opportunistic runs on identical scenarios.
+///
+/// `make_spec(point_index, field_index)` must set a distinct seed per
+/// `(point, field)` (use [`field_seed`]); both schemes of a pair receive
+/// the *same* spec, which is what makes the comparison paired.
+/// `configure(point_index, scheme)` supplies the protocol parameters (the
+/// scheme field is overwritten to match the job).
+///
+/// Job order is the serial execution order: points outermost, then fields,
+/// then greedy before opportunistic. [`collect_points`] relies on this to
+/// reassemble [`ComparisonPoint`]s whose per-field vectors match what a
+/// serial loop would have produced.
+pub fn sweep_jobs(
+    xs: &[f64],
+    fields: usize,
+    make_spec: impl Fn(usize, usize) -> ScenarioSpec,
+    configure: impl Fn(usize, Scheme) -> DiffusionConfig,
+) -> Vec<RunJob> {
+    let mut jobs = Vec::with_capacity(xs.len() * fields * 2);
+    for (pi, &x) in xs.iter().enumerate() {
+        for f in 0..fields {
+            let spec = make_spec(pi, f);
+            for scheme in [Scheme::Greedy, Scheme::Opportunistic] {
+                let mut config = configure(pi, scheme);
+                config.scheme = scheme;
+                jobs.push(RunJob {
+                    point_index: pi,
+                    point_x: x,
+                    field_index: f,
+                    scheme,
+                    spec: spec.clone(),
+                    config,
+                    net: NetConfig::default(),
+                    max_events: None,
+                });
+            }
+        }
+    }
+    jobs
+}
+
+/// Executes `jobs` on `runner` and reassembles them into one
+/// [`ComparisonPoint`] per entry of `xs`, keyed by each job's
+/// [`point_index`](RunJob::point_index).
+///
+/// Results are gathered in job order (the runner's output is keyed by job
+/// index), so the assembled points are identical to a serial sweep no
+/// matter how many workers ran or in what order jobs finished.
+///
+/// # Errors
+///
+/// Returns the first [`JobError`] in job order if any job tripped the
+/// watchdog. All sibling jobs still ran to completion; callers needing
+/// partial results should use [`Runner::run`] directly.
+pub fn collect_points(
+    runner: &Runner,
+    xs: &[f64],
+    jobs: &[RunJob],
+) -> Result<Vec<ComparisonPoint>, JobError> {
+    let reports = runner.run(jobs);
+    let mut points: Vec<ComparisonPoint> = xs
+        .iter()
+        .map(|&x| ComparisonPoint {
+            x,
+            greedy: Vec::new(),
+            opportunistic: Vec::new(),
+        })
+        .collect();
+    for (job, report) in jobs.iter().zip(reports) {
+        let report = report?;
+        let point = &mut points[job.point_index];
+        match job.scheme {
+            Scheme::Greedy => point.greedy.push(report.metrics),
+            Scheme::Opportunistic => point.opportunistic.push(report.metrics),
+        }
+    }
+    Ok(points)
+}
+
+/// Materializes and executes a whole sweep: [`sweep_jobs`] followed by
+/// [`collect_points`].
+///
+/// # Errors
+///
+/// Returns the first [`JobError`] in job order if the runner's watchdog
+/// budget was exceeded (impossible when the runner has no budget).
+pub fn run_sweep(
+    runner: &Runner,
+    xs: &[f64],
+    fields: usize,
+    make_spec: impl Fn(usize, usize) -> ScenarioSpec,
+    configure: impl Fn(usize, Scheme) -> DiffusionConfig,
+) -> Result<Vec<ComparisonPoint>, JobError> {
+    let jobs = sweep_jobs(xs, fields, make_spec, configure);
+    collect_points(runner, xs, &jobs)
+}
+
 /// Runs one sweep point: `fields` paired runs of both schemes on scenarios
 /// derived from `make_spec(field_index)`.
 ///
 /// `make_spec` receives the field index and must set a distinct seed per
 /// field (use [`field_seed`]).
+///
+/// Executes on [`Runner::from_env`], so `WSN_JOBS` parallelizes existing
+/// callers transparently; results are identical at any worker count.
 pub fn compare_point(
     x: f64,
     fields: usize,
@@ -118,28 +224,17 @@ pub fn compare_point_with(
     make_spec: impl Fn(usize) -> ScenarioSpec,
     configure: impl Fn(Scheme) -> DiffusionConfig,
 ) -> ComparisonPoint {
-    let mut greedy = Vec::with_capacity(fields);
-    let mut opportunistic = Vec::with_capacity(fields);
-    for f in 0..fields {
-        let spec = make_spec(f);
-        let instance = spec.instantiate();
-        for scheme in [Scheme::Greedy, Scheme::Opportunistic] {
-            let mut exp = Experiment::new(spec.clone(), scheme);
-            exp.diffusion = configure(scheme);
-            exp.diffusion.scheme = scheme;
-            let outcome = exp.run_on(&instance);
-            let metrics = outcome.record.metrics();
-            match scheme {
-                Scheme::Greedy => greedy.push(metrics),
-                Scheme::Opportunistic => opportunistic.push(metrics),
-            }
-        }
-    }
-    ComparisonPoint {
-        x,
-        greedy,
-        opportunistic,
-    }
+    let runner = Runner::from_env();
+    run_sweep(
+        &runner,
+        &[x],
+        fields,
+        |_, f| make_spec(f),
+        |_, s| configure(s),
+    )
+    .expect("a runner without a watchdog budget cannot fail")
+    .pop()
+    .expect("one point in, one point out")
 }
 
 /// Derives the scenario seed for `(experiment seed, sweep point, field)` —

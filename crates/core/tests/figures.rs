@@ -60,7 +60,10 @@ fn figure_regeneration_is_deterministic() {
     };
     let a = run_figure(Figure::Fig5Comparative, &params);
     let b = run_figure(Figure::Fig5Comparative, &params);
-    assert_eq!(a.energy.rows[0].cells[0].mean, b.energy.rows[0].cells[0].mean);
+    assert_eq!(
+        a.energy.rows[0].cells[0].mean,
+        b.energy.rows[0].cells[0].mean
+    );
     assert_eq!(a.delay.rows[0].cells[1].mean, b.delay.rows[0].cells[1].mean);
 }
 

@@ -250,10 +250,7 @@ mod tests {
         buf.offer(agg(Some(1), items.to_vec(), 1.0), &items);
         let out = buf.flush().expect("pending");
         let keys: Vec<_> = out.items.iter().map(EventItem::key).collect();
-        assert_eq!(
-            keys,
-            vec![(NodeId(1), 2), (NodeId(1), 9), (NodeId(2), 5)]
-        );
+        assert_eq!(keys, vec![(NodeId(1), 2), (NodeId(1), 9), (NodeId(2), 5)]);
     }
 
     #[test]

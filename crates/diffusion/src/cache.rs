@@ -111,7 +111,14 @@ impl ExplCache {
     /// Unknown ids are accepted: a node can hear an incremental cost message
     /// for an exploratory event it never saw (it is on the tree but off the
     /// flood path — rare, but the reinforcement walk must still work there).
-    pub fn record_incremental(&mut self, id: MsgId, item: EventItem, from: NodeId, cost: u32, now: SimTime) {
+    pub fn record_incremental(
+        &mut self,
+        id: MsgId,
+        item: EventItem,
+        from: NodeId,
+        cost: u32,
+        now: SimTime,
+    ) {
         let entry = self.entries.entry(id).or_insert_with(|| ExplEntry {
             item,
             first_from: from,
@@ -202,8 +209,12 @@ impl ExplCache {
                         continue;
                     }
                     let candidates = [
-                        offer.expl.map(|(c, t)| (c, 0u8, t, n, UpstreamKind::Exploratory)),
-                        offer.incr.map(|(c, t)| (c, 1u8, t, n, UpstreamKind::Incremental)),
+                        offer
+                            .expl
+                            .map(|(c, t)| (c, 0u8, t, n, UpstreamKind::Exploratory)),
+                        offer
+                            .incr
+                            .map(|(c, t)| (c, 1u8, t, n, UpstreamKind::Incremental)),
                     ];
                     for cand in candidates.into_iter().flatten() {
                         let better = match &best {

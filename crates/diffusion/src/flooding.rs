@@ -169,7 +169,9 @@ mod tests {
 
     fn line(n: usize) -> Topology {
         Topology::new(
-            (0..n).map(|i| Position::new(i as f64 * 30.0, 0.0)).collect(),
+            (0..n)
+                .map(|i| Position::new(i as f64 * 30.0, 0.0))
+                .collect(),
             40.0,
         )
     }

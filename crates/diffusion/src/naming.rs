@@ -152,7 +152,8 @@ impl InterestSpec {
 
     /// Requires `key` to equal `tag`.
     pub fn require_tag(mut self, key: impl Into<String>, tag: impl Into<String>) -> Self {
-        self.predicates.push((key.into(), Predicate::Is(tag.into())));
+        self.predicates
+            .push((key.into(), Predicate::Is(tag.into())));
         self
     }
 
@@ -185,9 +186,9 @@ impl InterestSpec {
     /// Whether `sensor` satisfies every predicate (a missing attribute fails
     /// its predicate).
     pub fn matches(&self, sensor: &SensorDescription) -> bool {
-        self.predicates.iter().all(|(key, pred)| {
-            sensor.get(key).is_some_and(|v| pred.matches(v))
-        })
+        self.predicates
+            .iter()
+            .all(|(key, pred)| sensor.get(key).is_some_and(|v| pred.matches(v)))
     }
 }
 

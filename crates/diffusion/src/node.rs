@@ -175,7 +175,12 @@ impl DiffusionNode {
     // Sending helpers
     // ------------------------------------------------------------------
 
-    fn send_now(&mut self, ctx: &mut Ctx<'_, DiffMsg, DiffTimer>, dst: Option<NodeId>, msg: DiffMsg) {
+    fn send_now(
+        &mut self,
+        ctx: &mut Ctx<'_, DiffMsg, DiffTimer>,
+        dst: Option<NodeId>,
+        msg: DiffMsg,
+    ) {
         let bytes = msg.wire_bytes(&self.cfg);
         self.counters.count_sent(msg.kind());
         match dst {
@@ -226,7 +231,14 @@ impl DiffusionNode {
                 let entry = self.expl.entry_mut(id).expect("entry just recorded");
                 if !entry.reinforce_sent {
                     entry.reinforce_sent = true;
-                    self.send_now(ctx, Some(from), DiffMsg::Reinforce { id, kind: ReinforceKind::Establish });
+                    self.send_now(
+                        ctx,
+                        Some(from),
+                        DiffMsg::Reinforce {
+                            id,
+                            kind: ReinforceKind::Establish,
+                        },
+                    );
                 }
             }
             Scheme::Greedy => {
@@ -249,7 +261,14 @@ impl DiffusionNode {
         }
         entry.reinforce_sent = true;
         if let Some((up, _kind)) = self.expl.choose_upstream(id, self.cfg.scheme) {
-            self.send_now(ctx, Some(up), DiffMsg::Reinforce { id, kind: ReinforceKind::Establish });
+            self.send_now(
+                ctx,
+                Some(up),
+                DiffMsg::Reinforce {
+                    id,
+                    kind: ReinforceKind::Establish,
+                },
+            );
         }
     }
 
@@ -511,7 +530,8 @@ impl DiffusionNode {
             round: id.round,
             generated: now,
         };
-        self.expl.record_incremental(id, placeholder, from, cost, now);
+        self.expl
+            .record_incremental(id, placeholder, from, cost, now);
         if self.role.is_sink {
             // Offers recorded; make sure a reinforcement decision happens
             // even if the exploratory flood misses us.
@@ -577,7 +597,10 @@ impl DiffusionNode {
                         self.send_now(
                             ctx,
                             Some(up),
-                            DiffMsg::Reinforce { id, kind: ReinforceKind::Establish },
+                            DiffMsg::Reinforce {
+                                id,
+                                kind: ReinforceKind::Establish,
+                            },
                         );
                     }
                 }
@@ -586,10 +609,9 @@ impl DiffusionNode {
                 // Continue the repair walk only while we are ourselves
                 // starved for this source — a node with fresh data is the
                 // working part of the tree and data will now flow down.
-                let starved = self
-                    .source_tracks
-                    .get(&id.source)
-                    .is_none_or(|t| now.saturating_duration_since(t.last_item) > self.repair_silence());
+                let starved = self.source_tracks.get(&id.source).is_none_or(|t| {
+                    now.saturating_duration_since(t.last_item) > self.repair_silence()
+                });
                 if starved {
                     self.attempt_repair(ctx, id.source, Some(from));
                 }
@@ -618,7 +640,9 @@ impl DiffusionNode {
         };
         // Stale knowledge: past one exploratory interval the cached offers
         // no longer describe the network; wait for the next round instead.
-        if now.saturating_duration_since(track.last_id.round_time(&self.cfg)) > self.cfg.exploratory_interval {
+        if now.saturating_duration_since(track.last_id.round_time(&self.cfg))
+            > self.cfg.exploratory_interval
+        {
             return;
         }
         if self
@@ -628,8 +652,12 @@ impl DiffusionNode {
         {
             return;
         }
-        let mut excluded: HashSet<NodeId> =
-            self.suspects.iter().filter(|(_, &u)| u >= now).map(|(&n, _)| n).collect();
+        let mut excluded: HashSet<NodeId> = self
+            .suspects
+            .iter()
+            .filter(|(_, &u)| u >= now)
+            .map(|(&n, _)| n)
+            .collect();
         excluded.insert(self.me);
         if let Some(e) = exclude {
             excluded.insert(e);
@@ -642,7 +670,10 @@ impl DiffusionNode {
             self.send_now(
                 ctx,
                 Some(up),
-                DiffMsg::Reinforce { id: track.last_id, kind: ReinforceKind::Repair },
+                DiffMsg::Reinforce {
+                    id: track.last_id,
+                    kind: ReinforceKind::Repair,
+                },
             );
         }
     }
@@ -655,7 +686,12 @@ impl DiffusionNode {
             // data senders (the cascade of §4.3).
             self.window.evict(now);
             for u in self.window.senders() {
-                self.send_jittered(ctx, self.cfg.send_jitter, Some(u), DiffMsg::NegativeReinforce);
+                self.send_jittered(
+                    ctx,
+                    self.cfg.send_jitter,
+                    Some(u),
+                    DiffMsg::NegativeReinforce,
+                );
             }
         }
     }
@@ -665,7 +701,12 @@ impl DiffusionNode {
         // Truncation applies to nodes pulling data from several neighbors.
         let truncated = self.window.decide(self.cfg.scheme, now);
         for &n in &truncated {
-            self.send_jittered(ctx, self.cfg.send_jitter, Some(n), DiffMsg::NegativeReinforce);
+            self.send_jittered(
+                ctx,
+                self.cfg.send_jitter,
+                Some(n),
+                DiffMsg::NegativeReinforce,
+            );
         }
         // Data-driven re-reinforcement: diffusion's reinforcement is a
         // repeated interest, so neighbors actively delivering new data have
@@ -684,7 +725,10 @@ impl DiffusionNode {
                             ctx,
                             self.cfg.send_jitter,
                             Some(u),
-                            DiffMsg::Reinforce { id, kind: ReinforceKind::Refresh },
+                            DiffMsg::Reinforce {
+                                id,
+                                kind: ReinforceKind::Refresh,
+                            },
                         );
                     }
                 }
@@ -692,7 +736,12 @@ impl DiffusionNode {
         } else {
             for u in self.window.senders() {
                 if !truncated.contains(&u) {
-                    self.send_jittered(ctx, self.cfg.send_jitter, Some(u), DiffMsg::NegativeReinforce);
+                    self.send_jittered(
+                        ctx,
+                        self.cfg.send_jitter,
+                        Some(u),
+                        DiffMsg::NegativeReinforce,
+                    );
                 }
             }
         }
@@ -819,7 +868,12 @@ impl Protocol for DiffusionNode {
         ctx.set_timer(self.cfg.truncation_window + stagger, DiffTimer::Truncate);
     }
 
-    fn on_unicast_failed(&mut self, ctx: &mut Ctx<'_, DiffMsg, DiffTimer>, to: NodeId, msg: &DiffMsg) {
+    fn on_unicast_failed(
+        &mut self,
+        ctx: &mut Ctx<'_, DiffMsg, DiffTimer>,
+        to: NodeId,
+        msg: &DiffMsg,
+    ) {
         // The MAC exhausted its retries. One exhausted ARQ can be collision
         // bad luck under a flood burst; a *second* consecutive failure with
         // nothing heard from the neighbor in between means the link is dead.
@@ -885,10 +939,15 @@ mod tests {
     #[test]
     fn expected_sources_respects_window() {
         let mut node = DiffusionNode::new(DiffusionConfig::default(), NodeId(0), Role::RELAY);
-        node.last_seen_source.insert(NodeId(1), SimTime::from_secs(10));
-        node.last_seen_source.insert(NodeId(2), SimTime::from_secs(5));
+        node.last_seen_source
+            .insert(NodeId(1), SimTime::from_secs(10));
+        node.last_seen_source
+            .insert(NodeId(2), SimTime::from_secs(5));
         // Window T_n = 2 s: at t = 11 only source 1 is fresh.
-        assert_eq!(node.expected_sources(SimTime::from_secs(11)), vec![NodeId(1)]);
+        assert_eq!(
+            node.expected_sources(SimTime::from_secs(11)),
+            vec![NodeId(1)]
+        );
         assert_eq!(
             node.expected_sources(SimTime::from_secs(10)),
             vec![NodeId(1)]

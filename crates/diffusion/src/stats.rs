@@ -108,7 +108,10 @@ impl SinkStats {
     ///
     /// Panics if `p` is outside `[0, 100]`.
     pub fn delay_percentile_s(&self, p: f64) -> f64 {
-        assert!((0.0..=100.0).contains(&p), "percentile {p} outside [0, 100]");
+        assert!(
+            (0.0..=100.0).contains(&p),
+            "percentile {p} outside [0, 100]"
+        );
         if self.delays_s.is_empty() {
             return 0.0;
         }

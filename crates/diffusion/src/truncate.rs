@@ -168,7 +168,13 @@ mod tests {
         }
     }
 
-    fn entry(from: u32, items: Vec<EventItem>, cost: f64, at_ms: u64, had_new: bool) -> WindowEntry {
+    fn entry(
+        from: u32,
+        items: Vec<EventItem>,
+        cost: f64,
+        at_ms: u64,
+        had_new: bool,
+    ) -> WindowEntry {
         WindowEntry {
             from: NodeId(from),
             items,

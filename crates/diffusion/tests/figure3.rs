@@ -22,14 +22,14 @@ use wsn_sim::SimTime;
 fn grid() -> Topology {
     Topology::new(
         vec![
-            Position::new(0.0, 0.0),    // 0 s1
-            Position::new(35.0, 0.0),   // 1 a
-            Position::new(70.0, 0.0),   // 2 b
-            Position::new(105.0, 0.0),  // 3 sink
-            Position::new(0.0, -35.0),  // 4 s2
-            Position::new(35.0, -35.0), // 5 r1
-            Position::new(70.0, -35.0), // 6 r2
-            Position::new(105.0, -35.0),// 7 r3
+            Position::new(0.0, 0.0),     // 0 s1
+            Position::new(35.0, 0.0),    // 1 a
+            Position::new(70.0, 0.0),    // 2 b
+            Position::new(105.0, 0.0),   // 3 sink
+            Position::new(0.0, -35.0),   // 4 s2
+            Position::new(35.0, -35.0),  // 5 r1
+            Position::new(70.0, -35.0),  // 6 r2
+            Position::new(105.0, -35.0), // 7 r3
         ],
         40.0,
     )
@@ -76,7 +76,11 @@ fn greedy_attaches_the_second_source_at_the_tree() {
         let net = run(Scheme::Greedy, seed);
         let now = net.now();
         let sink = net.protocol(NodeId(3));
-        assert_eq!(sink.sink.per_source.len(), 2, "seed {seed}: a source was lost");
+        assert_eq!(
+            sink.sink.per_source.len(),
+            2,
+            "seed {seed}: a source was lost"
+        );
         assert!(
             net.protocol(NodeId(4)).gradients().has_data(NodeId(0), now),
             "seed {seed}: s2 does not feed s1 — not a greedy incremental tree"
@@ -111,10 +115,17 @@ fn incremental_cost_messages_originate_at_on_tree_sources() {
     // on-tree sources out-advertise any bottom relay.
     let bottom_max = [5u32, 6, 7]
         .into_iter()
-        .map(|r| net.protocol(NodeId(r)).counters.sent(MsgKind::IncrementalCost))
+        .map(|r| {
+            net.protocol(NodeId(r))
+                .counters
+                .sent(MsgKind::IncrementalCost)
+        })
         .max()
         .unwrap_or(0);
-    let s2 = net.protocol(NodeId(4)).counters.sent(MsgKind::IncrementalCost);
+    let s2 = net
+        .protocol(NodeId(4))
+        .counters
+        .sent(MsgKind::IncrementalCost);
     assert!(
         s1.counters.sent(MsgKind::IncrementalCost) + s2 >= bottom_max,
         "tree sources advertise less than a pruned relay"

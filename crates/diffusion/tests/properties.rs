@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use wsn_diffusion::{
-    AggregationBuffer, AggregationFn, ExplCache, EventItem, GradientTable, IncomingAgg, MsgId,
+    AggregationBuffer, AggregationFn, EventItem, ExplCache, GradientTable, IncomingAgg, MsgId,
     Scheme, TruncationLog, WindowEntry,
 };
 use wsn_net::NodeId;

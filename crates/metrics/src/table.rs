@@ -37,11 +37,7 @@ impl FigureTable {
     /// # Panics
     ///
     /// Panics if `columns` is empty.
-    pub fn new(
-        title: impl Into<String>,
-        x_label: impl Into<String>,
-        columns: Vec<String>,
-    ) -> Self {
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>, columns: Vec<String>) -> Self {
         assert!(!columns.is_empty(), "a figure needs at least one series");
         FigureTable {
             title: title.into(),

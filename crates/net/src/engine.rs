@@ -22,7 +22,7 @@
 use std::collections::{HashSet, VecDeque};
 use std::rc::Rc;
 
-use wsn_sim::{EventId, SimDuration, SimRng, SimTime, Simulator};
+use wsn_sim::{EventId, RunAccounting, SimDuration, SimRng, SimTime, Simulator};
 
 use crate::config::NetConfig;
 use crate::energy::{EnergyMeter, RadioState};
@@ -43,7 +43,11 @@ enum Ev<T> {
     /// A transmission completed; finalize receptions at every hearer.
     TxEnd { node: NodeId, tx: TxId },
     /// The addressed receiver of a unicast frame owes an ACK (SIFS later).
-    AckDue { node: NodeId, acked: TxId, to: NodeId },
+    AckDue {
+        node: NodeId,
+        acked: TxId,
+        to: NodeId,
+    },
     /// The addressed receiver of an RTS owes a CTS (SIFS later).
     CtsDue { node: NodeId, to: NodeId },
     /// A CTS arrived; the sender transmits its data frame (SIFS later).
@@ -120,6 +124,36 @@ struct Awaiting<M> {
     timer: EventId,
     phase: AwaitPhase,
 }
+
+/// Error from [`Network::run_until_capped`]: the simulation hit its event
+/// budget with work still pending before the deadline.
+///
+/// This is the engine half of the run watchdog: a runaway simulation (a
+/// protocol bug scheduling timers in a tight loop, a pathological topology)
+/// becomes a reported error instead of a hung sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventBudgetExceeded {
+    /// The budget that was exceeded.
+    pub budget: u64,
+    /// Events actually dispatched (≥ budget).
+    pub events_processed: u64,
+    /// The simulated clock when the run was cut off.
+    pub sim_time: SimTime,
+    /// The deadline the run was trying to reach.
+    pub deadline: SimTime,
+}
+
+impl std::fmt::Display for EventBudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "event budget {} exhausted at simulated time {} (deadline {}): {} events processed",
+            self.budget, self.sim_time, self.deadline, self.events_processed
+        )
+    }
+}
+
+impl std::error::Error for EventBudgetExceeded {}
 
 /// Per-node transmit/receive counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -267,6 +301,11 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> EngineCore<M, T> {
         self.sim.now()
     }
 
+    /// Run accounting so far: events dispatched, clock, backlog.
+    pub fn accounting(&self) -> RunAccounting {
+        self.sim.accounting()
+    }
+
     pub(crate) fn protocol_rng(&mut self, node: NodeId) -> &mut SimRng {
         &mut self.proto_rngs[node.index()]
     }
@@ -288,7 +327,9 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> EngineCore<M, T> {
             self.stats.per_node[i].dropped_down += 1;
             return;
         }
-        self.nodes[i].queue.push_back(QueuedFrame { packet, retries: 0 });
+        self.nodes[i]
+            .queue
+            .push_back(QueuedFrame { packet, retries: 0 });
         self.mac_try_start(i);
     }
 
@@ -547,7 +588,10 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> EngineCore<M, T> {
                             if *to == v {
                                 self.sim.schedule_after(
                                     self.cfg.sifs,
-                                    Ev::CtsDue { node: v, to: sender },
+                                    Ev::CtsDue {
+                                        node: v,
+                                        to: sender,
+                                    },
                                 );
                             }
                         }
@@ -745,7 +789,12 @@ impl<P: Protocol> Network<P> {
     /// Builds a network over `topo`, constructing one protocol instance per
     /// node with `make`. Protocols' `on_start` runs at the first
     /// [`run_until`](Network::run_until) call, at time zero.
-    pub fn new(topo: Topology, cfg: NetConfig, seed: u64, mut make: impl FnMut(NodeId) -> P) -> Self {
+    pub fn new(
+        topo: Topology,
+        cfg: NetConfig,
+        seed: u64,
+        mut make: impl FnMut(NodeId) -> P,
+    ) -> Self {
         let n = topo.len();
         let core = EngineCore::new(topo, cfg, seed);
         let protocols = (0..n).map(|i| make(NodeId::from_index(i))).collect();
@@ -773,26 +822,38 @@ impl<P: Protocol> Network<P> {
 
     /// Energy dissipated by `node` up to the current time, joules.
     pub fn energy(&self, node: NodeId) -> f64 {
-        self.core.nodes[node.index()].meter.dissipated_at(self.core.now())
+        self.core.nodes[node.index()]
+            .meter
+            .dissipated_at(self.core.now())
     }
 
     /// Communication (transmit + receive) energy dissipated by `node`,
     /// joules.
     pub fn activity_energy(&self, node: NodeId) -> f64 {
-        self.core.nodes[node.index()].meter.activity_at(self.core.now())
+        self.core.nodes[node.index()]
+            .meter
+            .activity_at(self.core.now())
     }
 
     /// Total energy dissipated by all nodes, joules.
     pub fn total_energy(&self) -> f64 {
         let now = self.core.now();
-        self.core.nodes.iter().map(|n| n.meter.dissipated_at(now)).sum()
+        self.core
+            .nodes
+            .iter()
+            .map(|n| n.meter.dissipated_at(now))
+            .sum()
     }
 
     /// Total communication (transmit + receive) energy across all nodes,
     /// joules — excludes the scheme-independent idle floor.
     pub fn total_activity_energy(&self) -> f64 {
         let now = self.core.now();
-        self.core.nodes.iter().map(|n| n.meter.activity_at(now)).sum()
+        self.core
+            .nodes
+            .iter()
+            .map(|n| n.meter.activity_at(now))
+            .sum()
     }
 
     /// Whether `node` is currently powered.
@@ -842,6 +903,26 @@ impl<P: Protocol> Network<P> {
     /// Events scheduled exactly at the deadline fire; the clock ends at
     /// `deadline` even if the event queue drains early.
     pub fn run_until(&mut self, deadline: SimTime) {
+        self.run_until_capped(deadline, u64::MAX)
+            .expect("u64::MAX event budget cannot be exhausted");
+    }
+
+    /// Like [`run_until`](Network::run_until), but dispatches at most
+    /// `max_events` events over the network's lifetime (the budget counts
+    /// cumulatively across calls).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventBudgetExceeded`] when the budget runs out while events
+    /// are still pending at or before `deadline`; the network is left at the
+    /// simulated time it reached. If the budget runs out after the pending
+    /// work drains, the clock still advances to `deadline` and the run
+    /// succeeds.
+    pub fn run_until_capped(
+        &mut self,
+        deadline: SimTime,
+        max_events: u64,
+    ) -> Result<(), EventBudgetExceeded> {
         if !self.started {
             self.started = true;
             for i in 0..self.protocols.len() {
@@ -854,11 +935,39 @@ impl<P: Protocol> Network<P> {
             }
         }
         loop {
+            if self.core.sim.events_processed() >= max_events {
+                match self.core.sim.peek_time() {
+                    Some(t) if t <= deadline => {
+                        return Err(EventBudgetExceeded {
+                            budget: max_events,
+                            events_processed: self.core.sim.events_processed(),
+                            sim_time: self.core.sim.now(),
+                            deadline,
+                        });
+                    }
+                    _ => {
+                        // Queue drained (for this horizon): advance the clock.
+                        let drained = self.core.sim.step_until(deadline);
+                        debug_assert!(drained.is_none());
+                        return Ok(());
+                    }
+                }
+            }
             let Some((id, ev)) = self.core.sim.step_until(deadline) else {
-                break;
+                return Ok(());
             };
             self.dispatch(id, ev);
         }
+    }
+
+    /// Events dispatched by the underlying simulator so far.
+    pub fn events_processed(&self) -> u64 {
+        self.core.sim.events_processed()
+    }
+
+    /// Run accounting so far: events dispatched, clock, backlog.
+    pub fn accounting(&self) -> RunAccounting {
+        self.core.accounting()
     }
 
     fn dispatch(&mut self, id: EventId, ev: Ev<P::Timer>) {

@@ -43,7 +43,7 @@ mod topology;
 
 pub use config::NetConfig;
 pub use energy::{EnergyMeter, EnergyModel, RadioState};
-pub use engine::{EngineCore, NetStats, Network, NodeStats};
+pub use engine::{EngineCore, EventBudgetExceeded, NetStats, Network, NodeStats};
 pub use node::NodeId;
 pub use packet::{Packet, TxId};
 pub use position::{Position, Rect};

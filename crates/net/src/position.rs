@@ -115,15 +115,28 @@ impl Rect {
     /// Draws a uniformly distributed point inside the rectangle.
     pub fn sample(&self, rng: &mut SimRng) -> Position {
         Position::new(
-            if self.width() > 0.0 { rng.range_f64(self.x0, self.x1) } else { self.x0 },
-            if self.height() > 0.0 { rng.range_f64(self.y0, self.y1) } else { self.y0 },
+            if self.width() > 0.0 {
+                rng.range_f64(self.x0, self.x1)
+            } else {
+                self.x0
+            },
+            if self.height() > 0.0 {
+                rng.range_f64(self.y0, self.y1)
+            } else {
+                self.y0
+            },
         )
     }
 
     /// The sub-rectangle of given size anchored at this rectangle's
     /// bottom-left corner (the paper's source region).
     pub fn bottom_left(&self, width: f64, height: f64) -> Rect {
-        Rect::new(self.x0, self.y0, width.min(self.width()), height.min(self.height()))
+        Rect::new(
+            self.x0,
+            self.y0,
+            width.min(self.width()),
+            height.min(self.height()),
+        )
     }
 
     /// The sub-rectangle of given size anchored at this rectangle's
@@ -183,8 +196,14 @@ mod tests {
         let field = Rect::square(200.0);
         let sources = field.bottom_left(80.0, 80.0);
         let sink = field.top_right(36.0, 36.0);
-        assert_eq!((sources.x0, sources.y0, sources.x1, sources.y1), (0.0, 0.0, 80.0, 80.0));
-        assert_eq!((sink.x0, sink.y0, sink.x1, sink.y1), (164.0, 164.0, 200.0, 200.0));
+        assert_eq!(
+            (sources.x0, sources.y0, sources.x1, sources.y1),
+            (0.0, 0.0, 80.0, 80.0)
+        );
+        assert_eq!(
+            (sink.x0, sink.y0, sink.x1, sink.y1),
+            (164.0, 164.0, 200.0, 200.0)
+        );
     }
 
     #[test]

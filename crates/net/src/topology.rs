@@ -179,7 +179,9 @@ mod tests {
     use super::*;
 
     fn line(n: usize, spacing: f64) -> Vec<Position> {
-        (0..n).map(|i| Position::new(i as f64 * spacing, 0.0)).collect()
+        (0..n)
+            .map(|i| Position::new(i as f64 * spacing, 0.0))
+            .collect()
     }
 
     #[test]
@@ -205,7 +207,10 @@ mod tests {
 
     #[test]
     fn range_is_inclusive() {
-        let topo = Topology::new(vec![Position::new(0.0, 0.0), Position::new(40.0, 0.0)], 40.0);
+        let topo = Topology::new(
+            vec![Position::new(0.0, 0.0), Position::new(40.0, 0.0)],
+            40.0,
+        );
         assert!(topo.are_neighbors(NodeId(0), NodeId(1)));
     }
 

@@ -47,7 +47,10 @@ impl Protocol for Probe {
 }
 
 fn pair() -> Topology {
-    Topology::new(vec![Position::new(0.0, 0.0), Position::new(30.0, 0.0)], 40.0)
+    Topology::new(
+        vec![Position::new(0.0, 0.0), Position::new(30.0, 0.0)],
+        40.0,
+    )
 }
 
 fn ms(v: u64) -> SimDuration {
@@ -65,7 +68,10 @@ fn failure_callback_reports_destination_and_payload() {
     });
     net.schedule_down(SimTime::from_nanos(1), NodeId(1));
     net.run_until(SimTime::from_secs(2));
-    assert_eq!(net.protocol(NodeId(0)).failed_unicasts, vec![(NodeId(1), 77)]);
+    assert_eq!(
+        net.protocol(NodeId(0)).failed_unicasts,
+        vec![(NodeId(1), 77)]
+    );
 }
 
 #[test]
@@ -263,7 +269,10 @@ fn rts_to_dead_node_retries_and_reports_failure() {
     assert_eq!(s.rts_sent, 1 + u64::from(rts_config().retry_limit));
     assert_eq!(s.tx_frames, 0);
     assert_eq!(s.tx_failed, 1);
-    assert_eq!(net.protocol(NodeId(0)).failed_unicasts, vec![(NodeId(1), 5)]);
+    assert_eq!(
+        net.protocol(NodeId(0)).failed_unicasts,
+        vec![(NodeId(1), 5)]
+    );
 }
 
 #[test]
@@ -293,7 +302,9 @@ fn rts_cts_handles_hidden_terminals() {
 
 fn line(n: usize) -> Topology {
     Topology::new(
-        (0..n).map(|i| Position::new(i as f64 * 30.0, 0.0)).collect(),
+        (0..n)
+            .map(|i| Position::new(i as f64 * 30.0, 0.0))
+            .collect(),
         40.0,
     )
 }

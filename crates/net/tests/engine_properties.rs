@@ -2,9 +2,7 @@
 //! scripts must preserve the engine's global invariants.
 
 use proptest::prelude::*;
-use wsn_net::{
-    Ctx, NetConfig, Network, NodeId, Packet, Position, Protocol, Topology,
-};
+use wsn_net::{Ctx, NetConfig, Network, NodeId, Packet, Position, Protocol, Topology};
 use wsn_sim::{SimDuration, SimTime};
 
 /// A protocol that follows a per-node script of timed sends and counts
@@ -60,7 +58,11 @@ fn topologies() -> impl Strategy<Value = Vec<(f64, f64)>> {
 fn scripts(nodes: usize) -> impl Strategy<Value = Vec<Vec<(u64, Option<u32>, u32)>>> {
     prop::collection::vec(
         prop::collection::vec(
-            (0u64..500_000, prop::option::of(0u32..nodes as u32), 0u32..1000),
+            (
+                0u64..500_000,
+                prop::option::of(0u32..nodes as u32),
+                0u32..1000,
+            ),
             0..6,
         ),
         nodes..=nodes,
@@ -73,7 +75,10 @@ fn build(
     seed: u64,
 ) -> Network<Script> {
     let topo = Topology::new(
-        positions.iter().map(|&(x, y)| Position::new(x, y)).collect(),
+        positions
+            .iter()
+            .map(|&(x, y)| Position::new(x, y))
+            .collect(),
         40.0,
     );
     Network::new(topo, NetConfig::default(), seed, |id| Script {
@@ -192,7 +197,9 @@ fn normalize(
         sends.push(Vec::new());
     }
     for (i, list) in sends.iter_mut().enumerate() {
-        list.retain(|&(_, dst, _)| dst.is_none_or(|d| (d as usize) < positions.len() && d as usize != i));
+        list.retain(|&(_, dst, _)| {
+            dst.is_none_or(|d| (d as usize) < positions.len() && d as usize != i)
+        });
     }
     sends
 }

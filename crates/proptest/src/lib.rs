@@ -1,0 +1,44 @@
+//! A vendored, std-only shim of the `proptest` crate.
+//!
+//! This workspace builds in environments with no access to a crates
+//! registry, so the property-testing dependency is vendored as the minimal
+//! subset of the real `proptest` API that the workspace's test suites use:
+//!
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map` /
+//!   `prop_flat_map`, implemented for integer and float ranges and for
+//!   tuples of strategies;
+//! * [`collection::vec`], [`collection::btree_set`], [`sample::select`],
+//!   [`option::of`], and [`arbitrary::any`];
+//! * the [`proptest!`] macro with `#![proptest_config(..)]`,
+//!   [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`], and
+//!   [`prop_assume!`].
+//!
+//! Semantics differ from the real crate in one deliberate way: there is no
+//! shrinking. Every case is generated from a deterministic splitmix64
+//! stream keyed by the case number, so a failure report names the case
+//! number and the test rerun reproduces it exactly.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+mod macros;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// The prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// The `prop` module alias (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+    }
+}

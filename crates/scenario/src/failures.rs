@@ -234,7 +234,10 @@ mod tests {
         for e in &events {
             *balance.entry(e.node).or_insert(0) += if e.down { 1 } else { -1 };
         }
-        assert!(balance.values().all(|&v| v == 0), "unbalanced down/up: {balance:?}");
+        assert!(
+            balance.values().all(|&v| v == 0),
+            "unbalanced down/up: {balance:?}"
+        );
     }
 
     #[test]
@@ -266,8 +269,14 @@ mod tests {
             fraction: 0.0,
             ..FailureConfig::default()
         };
-        assert!(rolling_failures(100, &cfg, SimTime::from_secs(100), &HashSet::new(), &mut rng)
-            .is_empty());
+        assert!(rolling_failures(
+            100,
+            &cfg,
+            SimTime::from_secs(100),
+            &HashSet::new(),
+            &mut rng
+        )
+        .is_empty());
     }
 
     #[test]

@@ -28,9 +28,9 @@ mod spec;
 
 pub use failures::{downtime_fraction, rolling_failures, FailureConfig, FailureEvent};
 pub use field::{generate_field, Field};
-pub use render::{render_svg, RenderOverlay};
 pub use placement::{
     pick_nodes_in_region, pick_nodes_uniform, place_sinks, place_sources, SinkPlacement,
     SourcePlacement,
 };
+pub use render::{render_svg, RenderOverlay};
 pub use spec::{ScenarioInstance, ScenarioSpec};

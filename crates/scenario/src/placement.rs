@@ -278,8 +278,17 @@ mod tests {
             assert!(f.positions[s.index()].distance(event) <= 40.0);
         }
         // Deterministic: nearest-first ordering.
-        let again = place_sources(&f, placement, 5, &sinks, &mut SimRng::from_seed_stream(9, 9));
-        assert_eq!(sources, again, "event-radius placement should not depend on the rng");
+        let again = place_sources(
+            &f,
+            placement,
+            5,
+            &sinks,
+            &mut SimRng::from_seed_stream(9, 9),
+        );
+        assert_eq!(
+            sources, again,
+            "event-radius placement should not depend on the rng"
+        );
     }
 
     #[test]

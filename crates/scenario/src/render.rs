@@ -70,7 +70,10 @@ pub fn render_svg(field: &Field, overlay: &RenderOverlay) -> String {
                 let _ = writeln!(
                     out,
                     r##"  <line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#e0e0e0" stroke-width="0.6"/>"##,
-                    tx(a), ty(a), tx(b), ty(b)
+                    tx(a),
+                    ty(a),
+                    tx(b),
+                    ty(b)
                 );
             }
         }
@@ -83,7 +86,10 @@ pub fn render_svg(field: &Field, overlay: &RenderOverlay) -> String {
         let _ = writeln!(
             out,
             r##"  <line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#d2691e" stroke-width="2.2"/>"##,
-            tx(a), ty(a), tx(b), ty(b)
+            tx(a),
+            ty(a),
+            tx(b),
+            ty(b)
         );
     }
 
@@ -95,13 +101,17 @@ pub fn render_svg(field: &Field, overlay: &RenderOverlay) -> String {
             let _ = writeln!(
                 out,
                 r##"  <rect x="{:.1}" y="{:.1}" width="9" height="9" fill="#1f77b4"><title>{id} source</title></rect>"##,
-                x - 4.5, y - 4.5
+                x - 4.5,
+                y - 4.5
             );
         } else if overlay.sinks.contains(&id) {
             let _ = writeln!(
                 out,
                 r##"  <path d="M {x:.1} {:.1} L {:.1} {y:.1} L {x:.1} {:.1} L {:.1} {y:.1} Z" fill="#d62728"><title>{id} sink</title></path>"##,
-                y - 6.5, x + 6.5, y + 6.5, x - 6.5
+                y - 6.5,
+                x + 6.5,
+                y + 6.5,
+                x - 6.5
             );
         } else if overlay.down.contains(&id) {
             let _ = writeln!(

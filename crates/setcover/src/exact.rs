@@ -93,7 +93,10 @@ pub fn exact_cover(inst: &CoverInstance) -> Cover {
             let elem = missing.trailing_zeros() as usize;
             for &i in &self.containing[elem] {
                 self.current.push(i);
-                self.go(covered | self.masks[i], weight + self.inst.subsets()[i].weight());
+                self.go(
+                    covered | self.masks[i],
+                    weight + self.inst.subsets()[i].weight(),
+                );
                 self.current.pop();
             }
         }

@@ -95,7 +95,12 @@ mod tests {
     #[test]
     fn transformation_preserves_cost_ratio() {
         // r* = w*/|S*| must equal r = w/|S| by construction.
-        for (w, n, k) in [(5.0, 3usize, 2usize), (6.0, 2, 1), (7.0, 2, 2), (1.0, 10, 1)] {
+        for (w, n, k) in [
+            (5.0, 3usize, 2usize),
+            (6.0, 2, 1),
+            (7.0, 2, 2),
+            (1.0, 10, 1),
+        ] {
             let w_star = transformed_weight(w, n, k);
             assert!((w_star / k as f64 - w / n as f64).abs() < 1e-12);
         }

@@ -48,5 +48,5 @@ mod time;
 
 pub use event::{EventId, EventQueue};
 pub use rng::{splitmix64, SimRng};
-pub use sched::{SchedulePastError, Simulator};
+pub use sched::{RunAccounting, SchedulePastError, Simulator};
 pub use time::{SimDuration, SimTime};

@@ -6,7 +6,6 @@
 //! seed and a stream label, so adding randomness consumption to one subsystem
 //! never perturbs another — a property the paired scheme comparisons rely on.
 
-
 /// Mixes a 64-bit value through the SplitMix64 finalizer.
 ///
 /// Used to derive independent stream seeds from `(master seed, stream id)`
@@ -91,7 +90,10 @@ impl SimRng {
     ///
     /// Panics if `lo >= hi` or either bound is not finite.
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid range [{lo}, {hi})"
+        );
         lo + self.f64() * (hi - lo)
     }
 
@@ -245,7 +247,10 @@ mod tests {
         let a = splitmix64(0);
         let b = splitmix64(1);
         let flipped = (a ^ b).count_ones();
-        assert!((16..=48).contains(&flipped), "poor avalanche: {flipped} bits");
+        assert!(
+            (16..=48).contains(&flipped),
+            "poor avalanche: {flipped} bits"
+        );
     }
 
     #[test]

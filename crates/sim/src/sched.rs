@@ -30,6 +30,19 @@ impl std::fmt::Display for SchedulePastError {
 
 impl std::error::Error for SchedulePastError {}
 
+/// Cheap run accounting: how much work a simulation did and where its clock
+/// ended. The parallel run-execution layer (`wsn-core`'s runner) reports
+/// this per job, and its watchdog budgets the `events_processed` count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunAccounting {
+    /// Events dispatched so far.
+    pub events_processed: u64,
+    /// The simulated clock at sampling time.
+    pub final_time: SimTime,
+    /// Events still pending in the queue.
+    pub pending: usize,
+}
+
 /// A discrete-event simulator over events of type `E`.
 ///
 /// # Examples
@@ -77,6 +90,20 @@ impl<E> Simulator<E> {
     /// Number of events still pending.
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// The timestamp of the next pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// A snapshot of the run accounting (events dispatched, clock, backlog).
+    pub fn accounting(&self) -> RunAccounting {
+        RunAccounting {
+            events_processed: self.processed,
+            final_time: self.now,
+            pending: self.queue.len(),
+        }
     }
 
     /// Schedules an event at an absolute time.
@@ -183,7 +210,10 @@ mod tests {
         assert_eq!(sim.now(), SimTime::from_secs(3));
         // The far event is still pending.
         assert_eq!(sim.pending(), 1);
-        assert_eq!(sim.step_until(SimTime::from_secs(20)).map(|(_, e)| e), Some("far"));
+        assert_eq!(
+            sim.step_until(SimTime::from_secs(20)).map(|(_, e)| e),
+            Some("far")
+        );
         assert_eq!(sim.now(), SimTime::from_secs(10));
     }
 

@@ -277,7 +277,10 @@ mod tests {
             SimTime::ZERO.saturating_duration_since(SimTime::from_secs(1)),
             SimDuration::ZERO
         );
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
         assert_eq!(SimDuration::MAX.saturating_mul(2), SimDuration::MAX);
     }
 
@@ -305,6 +308,9 @@ mod tests {
             SimDuration::from_secs(3).checked_sub(SimDuration::from_secs(1)),
             Some(SimDuration::from_secs(2))
         );
-        assert_eq!(SimDuration::from_secs(1).checked_sub(SimDuration::from_secs(3)), None);
+        assert_eq!(
+            SimDuration::from_secs(1).checked_sub(SimDuration::from_secs(3)),
+            None
+        );
     }
 }

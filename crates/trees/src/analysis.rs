@@ -74,10 +74,16 @@ mod tests {
         let (g, _) = random_geometric(150, 200.0, 40.0, &mut rng);
         let sources = random_sources(150, 5, 0, &mut rng);
         let cmp = compare_trees(&g, 0, &sources);
-        assert!(cmp.git_cost <= cmp.spt_cost + 1e-9, "GIT never costs more than SPT");
+        assert!(
+            cmp.git_cost <= cmp.spt_cost + 1e-9,
+            "GIT never costs more than SPT"
+        );
         assert!(cmp.spt_cost <= cmp.no_aggregation_cost + 1e-9);
         let s = cmp.git_savings_over_spt();
-        assert!((0.0..=1.0).contains(&s), "savings fraction {s} out of range");
+        assert!(
+            (0.0..=1.0).contains(&s),
+            "savings fraction {s} out of range"
+        );
     }
 
     #[test]

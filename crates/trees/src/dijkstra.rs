@@ -81,7 +81,10 @@ pub fn multi_source_dijkstra(g: &Graph, sources: &[usize]) -> ShortestPaths {
     for &s in sources {
         assert!(s < n, "source {s} out of bounds");
         dist[s] = 0.0;
-        heap.push(HeapEntry { dist: 0.0, vertex: s });
+        heap.push(HeapEntry {
+            dist: 0.0,
+            vertex: s,
+        });
     }
     while let Some(HeapEntry { dist: d, vertex: u }) = heap.pop() {
         if d > dist[u] {
@@ -92,7 +95,10 @@ pub fn multi_source_dijkstra(g: &Graph, sources: &[usize]) -> ShortestPaths {
             if nd < dist[v] {
                 dist[v] = nd;
                 parent[v] = Some(u);
-                heap.push(HeapEntry { dist: nd, vertex: v });
+                heap.push(HeapEntry {
+                    dist: nd,
+                    vertex: v,
+                });
             }
         }
     }

@@ -50,9 +50,15 @@ impl Graph {
     /// Panics if either endpoint is out of bounds, the endpoints coincide,
     /// or the weight is not positive and finite.
     pub fn add_edge(&mut self, u: usize, v: usize, w: f64) {
-        assert!(u < self.adj.len() && v < self.adj.len(), "vertex out of bounds");
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "vertex out of bounds"
+        );
         assert_ne!(u, v, "self-loops are not allowed");
-        assert!(w.is_finite() && w > 0.0, "edge weight must be positive, got {w}");
+        assert!(
+            w.is_finite() && w > 0.0,
+            "edge weight must be positive, got {w}"
+        );
         self.adj[u].push((v, w));
         self.adj[v].push((u, w));
     }

@@ -50,7 +50,11 @@ pub fn event_radius_sources(
 /// Panics if `k` exceeds the number of non-sink nodes.
 pub fn random_sources(n: usize, k: usize, sink: usize, rng: &mut SimRng) -> Vec<usize> {
     let candidates: Vec<usize> = (0..n).filter(|&i| i != sink).collect();
-    assert!(k <= candidates.len(), "cannot pick {k} sources from {}", candidates.len());
+    assert!(
+        k <= candidates.len(),
+        "cannot pick {k} sources from {}",
+        candidates.len()
+    );
     rng.sample_indices(candidates.len(), k)
         .into_iter()
         .map(|i| candidates[i])

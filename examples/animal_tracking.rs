@@ -26,9 +26,7 @@ fn main() {
     // The watering hole sits at (40 m, 40 m); the five sensors nearest it
     // hear the animals and become sources.
     let watering_hole = Position::new(40.0, 40.0);
-    let mut by_distance: Vec<NodeId> = (0..field.positions.len())
-        .map(NodeId::from_index)
-        .collect();
+    let mut by_distance: Vec<NodeId> = (0..field.positions.len()).map(NodeId::from_index).collect();
     by_distance.sort_by(|a, b| {
         field.positions[a.index()]
             .distance(watering_hole)

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints, the tier-1 test suite, and a smoke sweep
+# through the parallel run-execution layer. Run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "==> smoke sweep: 2 points x 2 fields through the job runner"
+# fig8 --quick sweeps exactly two points (1 and 3 sinks); --fields 2 makes
+# it a 2-point/2-field sweep. --progress exercises the per-job reporting.
+cargo run --release -p wsn-bench --bin fig8 -- \
+    --quick --fields 2 --duration 30 --no-csv --progress
+
+echo "==> all checks passed"

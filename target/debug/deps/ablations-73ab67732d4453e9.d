@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-73ab67732d4453e9.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-73ab67732d4453e9: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

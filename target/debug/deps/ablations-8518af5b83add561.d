@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-8518af5b83add561.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-8518af5b83add561: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

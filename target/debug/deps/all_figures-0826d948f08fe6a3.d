@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/all_figures-0826d948f08fe6a3.d: crates/bench/src/bin/all_figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/liball_figures-0826d948f08fe6a3.rmeta: crates/bench/src/bin/all_figures.rs Cargo.toml
+
+crates/bench/src/bin/all_figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-8cae9f8195ef0e62.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/all_figures-8cae9f8195ef0e62: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-912e3664f6215deb.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/all_figures-912e3664f6215deb: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines-0405f37de5c6c581.d: crates/bench/src/bin/baselines.rs
+
+/root/repo/target/debug/deps/baselines-0405f37de5c6c581: crates/bench/src/bin/baselines.rs
+
+crates/bench/src/bin/baselines.rs:

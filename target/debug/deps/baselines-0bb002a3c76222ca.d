@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baselines-0bb002a3c76222ca.d: tests/baselines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines-0bb002a3c76222ca.rmeta: tests/baselines.rs Cargo.toml
+
+tests/baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baselines-43c5e83a0e1a4cee.d: crates/bench/src/bin/baselines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines-43c5e83a0e1a4cee.rmeta: crates/bench/src/bin/baselines.rs Cargo.toml
+
+crates/bench/src/bin/baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

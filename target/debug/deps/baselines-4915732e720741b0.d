@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines-4915732e720741b0.d: tests/baselines.rs
+
+/root/repo/target/debug/deps/baselines-4915732e720741b0: tests/baselines.rs
+
+tests/baselines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines-ad1a829de723db94.d: crates/bench/src/bin/baselines.rs
+
+/root/repo/target/debug/deps/baselines-ad1a829de723db94: crates/bench/src/bin/baselines.rs
+
+crates/bench/src/bin/baselines.rs:

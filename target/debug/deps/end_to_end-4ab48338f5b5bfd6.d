@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-4ab48338f5b5bfd6.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-4ab48338f5b5bfd6: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_edge-94ad565efdccc642.d: crates/net/tests/engine_edge.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_edge-94ad565efdccc642.rmeta: crates/net/tests/engine_edge.rs Cargo.toml
+
+crates/net/tests/engine_edge.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_edge-cdbc8728f6369f7d.d: crates/net/tests/engine_edge.rs
+
+/root/repo/target/debug/deps/engine_edge-cdbc8728f6369f7d: crates/net/tests/engine_edge.rs
+
+crates/net/tests/engine_edge.rs:

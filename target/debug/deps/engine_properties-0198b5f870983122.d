@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_properties-0198b5f870983122.d: crates/net/tests/engine_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_properties-0198b5f870983122.rmeta: crates/net/tests/engine_properties.rs Cargo.toml
+
+crates/net/tests/engine_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

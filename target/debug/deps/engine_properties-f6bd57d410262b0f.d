@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_properties-f6bd57d410262b0f.d: crates/net/tests/engine_properties.rs
+
+/root/repo/target/debug/deps/engine_properties-f6bd57d410262b0f: crates/net/tests/engine_properties.rs
+
+crates/net/tests/engine_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-80247d4661963dd0.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-80247d4661963dd0: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

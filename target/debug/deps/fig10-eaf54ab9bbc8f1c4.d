@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-eaf54ab9bbc8f1c4.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-eaf54ab9bbc8f1c4: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-4cafe18a4277070d.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-4cafe18a4277070d: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

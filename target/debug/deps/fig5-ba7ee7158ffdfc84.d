@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-ba7ee7158ffdfc84.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-ba7ee7158ffdfc84: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-a69b85e173d9f028.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-a69b85e173d9f028: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

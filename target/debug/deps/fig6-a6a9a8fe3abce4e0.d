@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-a6a9a8fe3abce4e0.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-a6a9a8fe3abce4e0: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

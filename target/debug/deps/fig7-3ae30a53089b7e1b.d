@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-3ae30a53089b7e1b.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-3ae30a53089b7e1b: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-9ef8007ac765c94c.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-9ef8007ac765c94c: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

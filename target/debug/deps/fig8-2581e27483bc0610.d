@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-2581e27483bc0610.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-2581e27483bc0610: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-a7721fe27c897a70.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-a7721fe27c897a70: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

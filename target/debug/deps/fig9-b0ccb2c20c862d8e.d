@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-b0ccb2c20c862d8e.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-b0ccb2c20c862d8e: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-ffa1ab88ae648b64.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-ffa1ab88ae648b64: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure3-3d217efcfe384324.d: crates/diffusion/tests/figure3.rs
+
+/root/repo/target/debug/deps/figure3-3d217efcfe384324: crates/diffusion/tests/figure3.rs
+
+crates/diffusion/tests/figure3.rs:

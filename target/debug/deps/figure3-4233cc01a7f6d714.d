@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figure3-4233cc01a7f6d714.d: crates/diffusion/tests/figure3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigure3-4233cc01a7f6d714.rmeta: crates/diffusion/tests/figure3.rs Cargo.toml
+
+crates/diffusion/tests/figure3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

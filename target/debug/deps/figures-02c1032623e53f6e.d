@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures-02c1032623e53f6e.d: crates/core/tests/figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures-02c1032623e53f6e.rmeta: crates/core/tests/figures.rs Cargo.toml
+
+crates/core/tests/figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-c71d0e95c7dd45bb.d: crates/core/tests/figures.rs
+
+/root/repo/target/debug/deps/figures-c71d0e95c7dd45bb: crates/core/tests/figures.rs
+
+crates/core/tests/figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/krishnamachari-7a356554f54ca9bf.d: crates/bench/src/bin/krishnamachari.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkrishnamachari-7a356554f54ca9bf.rmeta: crates/bench/src/bin/krishnamachari.rs Cargo.toml
+
+crates/bench/src/bin/krishnamachari.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/krishnamachari-84df4fdd55e599cb.d: crates/bench/src/bin/krishnamachari.rs
+
+/root/repo/target/debug/deps/krishnamachari-84df4fdd55e599cb: crates/bench/src/bin/krishnamachari.rs
+
+crates/bench/src/bin/krishnamachari.rs:

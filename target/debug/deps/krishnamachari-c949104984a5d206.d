@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/krishnamachari-c949104984a5d206.d: crates/bench/src/bin/krishnamachari.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkrishnamachari-c949104984a5d206.rmeta: crates/bench/src/bin/krishnamachari.rs Cargo.toml
+
+crates/bench/src/bin/krishnamachari.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

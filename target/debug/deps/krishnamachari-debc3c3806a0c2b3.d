@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/krishnamachari-debc3c3806a0c2b3.d: crates/bench/src/bin/krishnamachari.rs
+
+/root/repo/target/debug/deps/krishnamachari-debc3c3806a0c2b3: crates/bench/src/bin/krishnamachari.rs
+
+crates/bench/src/bin/krishnamachari.rs:

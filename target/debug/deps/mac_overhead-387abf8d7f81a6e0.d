@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mac_overhead-387abf8d7f81a6e0.d: crates/bench/src/bin/mac_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmac_overhead-387abf8d7f81a6e0.rmeta: crates/bench/src/bin/mac_overhead.rs Cargo.toml
+
+crates/bench/src/bin/mac_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mac_overhead-470033dc36929ef7.d: crates/bench/src/bin/mac_overhead.rs
+
+/root/repo/target/debug/deps/mac_overhead-470033dc36929ef7: crates/bench/src/bin/mac_overhead.rs
+
+crates/bench/src/bin/mac_overhead.rs:

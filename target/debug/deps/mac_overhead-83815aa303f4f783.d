@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mac_overhead-83815aa303f4f783.d: crates/bench/src/bin/mac_overhead.rs
+
+/root/repo/target/debug/deps/mac_overhead-83815aa303f4f783: crates/bench/src/bin/mac_overhead.rs
+
+crates/bench/src/bin/mac_overhead.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mac_overhead-ba2b9c08eaf7d6c1.d: crates/bench/src/bin/mac_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmac_overhead-ba2b9c08eaf7d6c1.rmeta: crates/bench/src/bin/mac_overhead.rs Cargo.toml
+
+crates/bench/src/bin/mac_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

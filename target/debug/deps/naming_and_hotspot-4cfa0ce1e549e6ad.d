@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/naming_and_hotspot-4cfa0ce1e549e6ad.d: tests/naming_and_hotspot.rs
+
+/root/repo/target/debug/deps/naming_and_hotspot-4cfa0ce1e549e6ad: tests/naming_and_hotspot.rs
+
+tests/naming_and_hotspot.rs:

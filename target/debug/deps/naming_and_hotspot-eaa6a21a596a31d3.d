@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/naming_and_hotspot-eaa6a21a596a31d3.d: tests/naming_and_hotspot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnaming_and_hotspot-eaa6a21a596a31d3.rmeta: tests/naming_and_hotspot.rs Cargo.toml
+
+tests/naming_and_hotspot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

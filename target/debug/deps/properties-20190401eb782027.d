@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-20190401eb782027.d: crates/metrics/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-20190401eb782027.rmeta: crates/metrics/tests/properties.rs Cargo.toml
+
+crates/metrics/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-4c6f8cb05876906c.d: crates/trees/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-4c6f8cb05876906c: crates/trees/tests/properties.rs
+
+crates/trees/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-5c7a4991d71c2f70.d: crates/trees/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-5c7a4991d71c2f70.rmeta: crates/trees/tests/properties.rs Cargo.toml
+
+crates/trees/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

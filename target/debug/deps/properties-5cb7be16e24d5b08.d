@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-5cb7be16e24d5b08.d: crates/setcover/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-5cb7be16e24d5b08: crates/setcover/tests/properties.rs
+
+crates/setcover/tests/properties.rs:

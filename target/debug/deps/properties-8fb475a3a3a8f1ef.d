@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-8fb475a3a3a8f1ef.d: crates/diffusion/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-8fb475a3a3a8f1ef.rmeta: crates/diffusion/tests/properties.rs Cargo.toml
+
+crates/diffusion/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

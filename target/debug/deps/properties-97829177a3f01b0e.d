@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-97829177a3f01b0e.d: crates/diffusion/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-97829177a3f01b0e: crates/diffusion/tests/properties.rs
+
+crates/diffusion/tests/properties.rs:

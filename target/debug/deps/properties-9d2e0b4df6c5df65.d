@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-9d2e0b4df6c5df65.d: crates/setcover/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-9d2e0b4df6c5df65.rmeta: crates/setcover/tests/properties.rs Cargo.toml
+
+crates/setcover/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

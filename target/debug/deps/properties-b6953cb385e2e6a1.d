@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b6953cb385e2e6a1.d: crates/sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b6953cb385e2e6a1: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c01b30817f38c1b3.d: crates/metrics/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-c01b30817f38c1b3: crates/metrics/tests/properties.rs
+
+crates/metrics/tests/properties.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/proptest-ccddb557c3a889e9.d: crates/proptest/src/lib.rs crates/proptest/src/arbitrary.rs crates/proptest/src/collection.rs crates/proptest/src/macros.rs crates/proptest/src/option.rs crates/proptest/src/sample.rs crates/proptest/src/strategy.rs crates/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/proptest-ccddb557c3a889e9: crates/proptest/src/lib.rs crates/proptest/src/arbitrary.rs crates/proptest/src/collection.rs crates/proptest/src/macros.rs crates/proptest/src/option.rs crates/proptest/src/sample.rs crates/proptest/src/strategy.rs crates/proptest/src/test_runner.rs
+
+crates/proptest/src/lib.rs:
+crates/proptest/src/arbitrary.rs:
+crates/proptest/src/collection.rs:
+crates/proptest/src/macros.rs:
+crates/proptest/src/option.rs:
+crates/proptest/src/sample.rs:
+crates/proptest/src/strategy.rs:
+crates/proptest/src/test_runner.rs:

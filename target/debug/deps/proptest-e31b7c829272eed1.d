@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/proptest-e31b7c829272eed1.d: crates/proptest/src/lib.rs crates/proptest/src/arbitrary.rs crates/proptest/src/collection.rs crates/proptest/src/macros.rs crates/proptest/src/option.rs crates/proptest/src/sample.rs crates/proptest/src/strategy.rs crates/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-e31b7c829272eed1.rlib: crates/proptest/src/lib.rs crates/proptest/src/arbitrary.rs crates/proptest/src/collection.rs crates/proptest/src/macros.rs crates/proptest/src/option.rs crates/proptest/src/sample.rs crates/proptest/src/strategy.rs crates/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-e31b7c829272eed1.rmeta: crates/proptest/src/lib.rs crates/proptest/src/arbitrary.rs crates/proptest/src/collection.rs crates/proptest/src/macros.rs crates/proptest/src/option.rs crates/proptest/src/sample.rs crates/proptest/src/strategy.rs crates/proptest/src/test_runner.rs
+
+crates/proptest/src/lib.rs:
+crates/proptest/src/arbitrary.rs:
+crates/proptest/src/collection.rs:
+crates/proptest/src/macros.rs:
+crates/proptest/src/option.rs:
+crates/proptest/src/sample.rs:
+crates/proptest/src/strategy.rs:
+crates/proptest/src/test_runner.rs:

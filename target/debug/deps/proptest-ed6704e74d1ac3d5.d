@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/proptest-ed6704e74d1ac3d5.d: crates/proptest/src/lib.rs crates/proptest/src/arbitrary.rs crates/proptest/src/collection.rs crates/proptest/src/macros.rs crates/proptest/src/option.rs crates/proptest/src/sample.rs crates/proptest/src/strategy.rs crates/proptest/src/test_runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-ed6704e74d1ac3d5.rmeta: crates/proptest/src/lib.rs crates/proptest/src/arbitrary.rs crates/proptest/src/collection.rs crates/proptest/src/macros.rs crates/proptest/src/option.rs crates/proptest/src/sample.rs crates/proptest/src/strategy.rs crates/proptest/src/test_runner.rs Cargo.toml
+
+crates/proptest/src/lib.rs:
+crates/proptest/src/arbitrary.rs:
+crates/proptest/src/collection.rs:
+crates/proptest/src/macros.rs:
+crates/proptest/src/option.rs:
+crates/proptest/src/sample.rs:
+crates/proptest/src/strategy.rs:
+crates/proptest/src/test_runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol_behavior-0e1286b90edbda17.d: tests/protocol_behavior.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol_behavior-0e1286b90edbda17.rmeta: tests/protocol_behavior.rs Cargo.toml
+
+tests/protocol_behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_behavior-24817ab75f0bc9b1.d: tests/protocol_behavior.rs
+
+/root/repo/target/debug/deps/protocol_behavior-24817ab75f0bc9b1: tests/protocol_behavior.rs
+
+tests/protocol_behavior.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repair-4c258c616401ae78.d: tests/repair.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepair-4c258c616401ae78.rmeta: tests/repair.rs Cargo.toml
+
+tests/repair.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

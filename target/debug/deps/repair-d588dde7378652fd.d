@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repair-d588dde7378652fd.d: tests/repair.rs
+
+/root/repo/target/debug/deps/repair-d588dde7378652fd: tests/repair.rs
+
+tests/repair.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_one-3a08b9442c631c2b.d: crates/bench/src/bin/run_one.rs
+
+/root/repo/target/debug/deps/run_one-3a08b9442c631c2b: crates/bench/src/bin/run_one.rs
+
+crates/bench/src/bin/run_one.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/run_one-90997c2f78a4931b.d: crates/bench/src/bin/run_one.rs Cargo.toml
+
+/root/repo/target/debug/deps/librun_one-90997c2f78a4931b.rmeta: crates/bench/src/bin/run_one.rs Cargo.toml
+
+crates/bench/src/bin/run_one.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

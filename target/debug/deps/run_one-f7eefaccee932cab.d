@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_one-f7eefaccee932cab.d: crates/bench/src/bin/run_one.rs
+
+/root/repo/target/debug/deps/run_one-f7eefaccee932cab: crates/bench/src/bin/run_one.rs
+
+crates/bench/src/bin/run_one.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runner-71c4535400815bf9.d: tests/runner.rs
+
+/root/repo/target/debug/deps/runner-71c4535400815bf9: tests/runner.rs
+
+tests/runner.rs:

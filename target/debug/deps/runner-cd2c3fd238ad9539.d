@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runner-cd2c3fd238ad9539.d: tests/runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/librunner-cd2c3fd238ad9539.rmeta: tests/runner.rs Cargo.toml
+
+tests/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrate-98e7da6adb619448.d: tests/substrate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrate-98e7da6adb619448.rmeta: tests/substrate.rs Cargo.toml
+
+tests/substrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

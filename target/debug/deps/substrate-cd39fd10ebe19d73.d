@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate-cd39fd10ebe19d73.d: tests/substrate.rs
+
+/root/repo/target/debug/deps/substrate-cd39fd10ebe19d73: tests/substrate.rs
+
+tests/substrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wsn-136ddf1b8c32a4dc.d: src/lib.rs
+
+/root/repo/target/debug/deps/wsn-136ddf1b8c32a4dc: src/lib.rs
+
+src/lib.rs:

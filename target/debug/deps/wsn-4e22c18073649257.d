@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wsn-4e22c18073649257.d: src/lib.rs
+
+/root/repo/target/debug/deps/libwsn-4e22c18073649257.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libwsn-4e22c18073649257.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/wsn_bench-23c63f4b4cd8738b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libwsn_bench-23c63f4b4cd8738b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libwsn_bench-23c63f4b4cd8738b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wsn_bench-3394e89f37ae8f07.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/wsn_bench-3394e89f37ae8f07: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

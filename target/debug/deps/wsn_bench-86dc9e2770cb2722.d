@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wsn_bench-86dc9e2770cb2722.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwsn_bench-86dc9e2770cb2722.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

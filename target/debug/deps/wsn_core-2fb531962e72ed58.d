@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/wsn_core-2fb531962e72ed58.d: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/figures.rs crates/core/src/runner.rs crates/core/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwsn_core-2fb531962e72ed58.rmeta: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/figures.rs crates/core/src/runner.rs crates/core/src/sweep.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/experiment.rs:
+crates/core/src/figures.rs:
+crates/core/src/runner.rs:
+crates/core/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

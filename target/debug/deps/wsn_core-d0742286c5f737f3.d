@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/wsn_core-d0742286c5f737f3.d: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/figures.rs crates/core/src/runner.rs crates/core/src/sweep.rs
+
+/root/repo/target/debug/deps/libwsn_core-d0742286c5f737f3.rlib: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/figures.rs crates/core/src/runner.rs crates/core/src/sweep.rs
+
+/root/repo/target/debug/deps/libwsn_core-d0742286c5f737f3.rmeta: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/figures.rs crates/core/src/runner.rs crates/core/src/sweep.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiment.rs:
+crates/core/src/figures.rs:
+crates/core/src/runner.rs:
+crates/core/src/sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wsn_core-fb774c172eb5cf9f.d: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/figures.rs crates/core/src/runner.rs crates/core/src/sweep.rs
+
+/root/repo/target/debug/deps/wsn_core-fb774c172eb5cf9f: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/figures.rs crates/core/src/runner.rs crates/core/src/sweep.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiment.rs:
+crates/core/src/figures.rs:
+crates/core/src/runner.rs:
+crates/core/src/sweep.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/wsn_diffusion-688fc42e3c92db17.d: crates/diffusion/src/lib.rs crates/diffusion/src/aggregate.rs crates/diffusion/src/cache.rs crates/diffusion/src/config.rs crates/diffusion/src/flooding.rs crates/diffusion/src/gradient.rs crates/diffusion/src/msg.rs crates/diffusion/src/naming.rs crates/diffusion/src/node.rs crates/diffusion/src/stats.rs crates/diffusion/src/truncate.rs
+
+/root/repo/target/debug/deps/wsn_diffusion-688fc42e3c92db17: crates/diffusion/src/lib.rs crates/diffusion/src/aggregate.rs crates/diffusion/src/cache.rs crates/diffusion/src/config.rs crates/diffusion/src/flooding.rs crates/diffusion/src/gradient.rs crates/diffusion/src/msg.rs crates/diffusion/src/naming.rs crates/diffusion/src/node.rs crates/diffusion/src/stats.rs crates/diffusion/src/truncate.rs
+
+crates/diffusion/src/lib.rs:
+crates/diffusion/src/aggregate.rs:
+crates/diffusion/src/cache.rs:
+crates/diffusion/src/config.rs:
+crates/diffusion/src/flooding.rs:
+crates/diffusion/src/gradient.rs:
+crates/diffusion/src/msg.rs:
+crates/diffusion/src/naming.rs:
+crates/diffusion/src/node.rs:
+crates/diffusion/src/stats.rs:
+crates/diffusion/src/truncate.rs:

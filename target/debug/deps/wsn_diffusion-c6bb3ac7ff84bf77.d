@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/wsn_diffusion-c6bb3ac7ff84bf77.d: crates/diffusion/src/lib.rs crates/diffusion/src/aggregate.rs crates/diffusion/src/cache.rs crates/diffusion/src/config.rs crates/diffusion/src/flooding.rs crates/diffusion/src/gradient.rs crates/diffusion/src/msg.rs crates/diffusion/src/naming.rs crates/diffusion/src/node.rs crates/diffusion/src/stats.rs crates/diffusion/src/truncate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwsn_diffusion-c6bb3ac7ff84bf77.rmeta: crates/diffusion/src/lib.rs crates/diffusion/src/aggregate.rs crates/diffusion/src/cache.rs crates/diffusion/src/config.rs crates/diffusion/src/flooding.rs crates/diffusion/src/gradient.rs crates/diffusion/src/msg.rs crates/diffusion/src/naming.rs crates/diffusion/src/node.rs crates/diffusion/src/stats.rs crates/diffusion/src/truncate.rs Cargo.toml
+
+crates/diffusion/src/lib.rs:
+crates/diffusion/src/aggregate.rs:
+crates/diffusion/src/cache.rs:
+crates/diffusion/src/config.rs:
+crates/diffusion/src/flooding.rs:
+crates/diffusion/src/gradient.rs:
+crates/diffusion/src/msg.rs:
+crates/diffusion/src/naming.rs:
+crates/diffusion/src/node.rs:
+crates/diffusion/src/stats.rs:
+crates/diffusion/src/truncate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

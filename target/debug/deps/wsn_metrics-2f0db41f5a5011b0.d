@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/wsn_metrics-2f0db41f5a5011b0.d: crates/metrics/src/lib.rs crates/metrics/src/record.rs crates/metrics/src/stats.rs crates/metrics/src/table.rs
+
+/root/repo/target/debug/deps/libwsn_metrics-2f0db41f5a5011b0.rlib: crates/metrics/src/lib.rs crates/metrics/src/record.rs crates/metrics/src/stats.rs crates/metrics/src/table.rs
+
+/root/repo/target/debug/deps/libwsn_metrics-2f0db41f5a5011b0.rmeta: crates/metrics/src/lib.rs crates/metrics/src/record.rs crates/metrics/src/stats.rs crates/metrics/src/table.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/record.rs:
+crates/metrics/src/stats.rs:
+crates/metrics/src/table.rs:

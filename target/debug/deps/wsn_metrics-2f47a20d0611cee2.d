@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/wsn_metrics-2f47a20d0611cee2.d: crates/metrics/src/lib.rs crates/metrics/src/record.rs crates/metrics/src/stats.rs crates/metrics/src/table.rs
+
+/root/repo/target/debug/deps/wsn_metrics-2f47a20d0611cee2: crates/metrics/src/lib.rs crates/metrics/src/record.rs crates/metrics/src/stats.rs crates/metrics/src/table.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/record.rs:
+crates/metrics/src/stats.rs:
+crates/metrics/src/table.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/wsn_metrics-3e533243efc61fb3.d: crates/metrics/src/lib.rs crates/metrics/src/record.rs crates/metrics/src/stats.rs crates/metrics/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwsn_metrics-3e533243efc61fb3.rmeta: crates/metrics/src/lib.rs crates/metrics/src/record.rs crates/metrics/src/stats.rs crates/metrics/src/table.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/record.rs:
+crates/metrics/src/stats.rs:
+crates/metrics/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

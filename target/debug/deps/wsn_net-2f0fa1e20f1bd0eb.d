@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/wsn_net-2f0fa1e20f1bd0eb.d: crates/net/src/lib.rs crates/net/src/config.rs crates/net/src/energy.rs crates/net/src/engine.rs crates/net/src/node.rs crates/net/src/packet.rs crates/net/src/position.rs crates/net/src/protocol.rs crates/net/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwsn_net-2f0fa1e20f1bd0eb.rmeta: crates/net/src/lib.rs crates/net/src/config.rs crates/net/src/energy.rs crates/net/src/engine.rs crates/net/src/node.rs crates/net/src/packet.rs crates/net/src/position.rs crates/net/src/protocol.rs crates/net/src/topology.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/config.rs:
+crates/net/src/energy.rs:
+crates/net/src/engine.rs:
+crates/net/src/node.rs:
+crates/net/src/packet.rs:
+crates/net/src/position.rs:
+crates/net/src/protocol.rs:
+crates/net/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

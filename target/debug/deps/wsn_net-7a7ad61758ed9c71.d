@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/wsn_net-7a7ad61758ed9c71.d: crates/net/src/lib.rs crates/net/src/config.rs crates/net/src/energy.rs crates/net/src/engine.rs crates/net/src/node.rs crates/net/src/packet.rs crates/net/src/position.rs crates/net/src/protocol.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/wsn_net-7a7ad61758ed9c71: crates/net/src/lib.rs crates/net/src/config.rs crates/net/src/energy.rs crates/net/src/engine.rs crates/net/src/node.rs crates/net/src/packet.rs crates/net/src/position.rs crates/net/src/protocol.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/config.rs:
+crates/net/src/energy.rs:
+crates/net/src/engine.rs:
+crates/net/src/node.rs:
+crates/net/src/packet.rs:
+crates/net/src/position.rs:
+crates/net/src/protocol.rs:
+crates/net/src/topology.rs:

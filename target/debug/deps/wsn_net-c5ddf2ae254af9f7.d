@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/wsn_net-c5ddf2ae254af9f7.d: crates/net/src/lib.rs crates/net/src/config.rs crates/net/src/energy.rs crates/net/src/engine.rs crates/net/src/node.rs crates/net/src/packet.rs crates/net/src/position.rs crates/net/src/protocol.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/libwsn_net-c5ddf2ae254af9f7.rlib: crates/net/src/lib.rs crates/net/src/config.rs crates/net/src/energy.rs crates/net/src/engine.rs crates/net/src/node.rs crates/net/src/packet.rs crates/net/src/position.rs crates/net/src/protocol.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/libwsn_net-c5ddf2ae254af9f7.rmeta: crates/net/src/lib.rs crates/net/src/config.rs crates/net/src/energy.rs crates/net/src/engine.rs crates/net/src/node.rs crates/net/src/packet.rs crates/net/src/position.rs crates/net/src/protocol.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/config.rs:
+crates/net/src/energy.rs:
+crates/net/src/engine.rs:
+crates/net/src/node.rs:
+crates/net/src/packet.rs:
+crates/net/src/position.rs:
+crates/net/src/protocol.rs:
+crates/net/src/topology.rs:

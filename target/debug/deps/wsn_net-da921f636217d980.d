@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/wsn_net-da921f636217d980.d: crates/net/src/lib.rs crates/net/src/config.rs crates/net/src/energy.rs crates/net/src/engine.rs crates/net/src/node.rs crates/net/src/packet.rs crates/net/src/position.rs crates/net/src/protocol.rs crates/net/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwsn_net-da921f636217d980.rmeta: crates/net/src/lib.rs crates/net/src/config.rs crates/net/src/energy.rs crates/net/src/engine.rs crates/net/src/node.rs crates/net/src/packet.rs crates/net/src/position.rs crates/net/src/protocol.rs crates/net/src/topology.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/config.rs:
+crates/net/src/energy.rs:
+crates/net/src/engine.rs:
+crates/net/src/node.rs:
+crates/net/src/packet.rs:
+crates/net/src/position.rs:
+crates/net/src/protocol.rs:
+crates/net/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/wsn_scenario-9fd6346c06f9de20.d: crates/scenario/src/lib.rs crates/scenario/src/failures.rs crates/scenario/src/field.rs crates/scenario/src/placement.rs crates/scenario/src/render.rs crates/scenario/src/spec.rs
+
+/root/repo/target/debug/deps/wsn_scenario-9fd6346c06f9de20: crates/scenario/src/lib.rs crates/scenario/src/failures.rs crates/scenario/src/field.rs crates/scenario/src/placement.rs crates/scenario/src/render.rs crates/scenario/src/spec.rs
+
+crates/scenario/src/lib.rs:
+crates/scenario/src/failures.rs:
+crates/scenario/src/field.rs:
+crates/scenario/src/placement.rs:
+crates/scenario/src/render.rs:
+crates/scenario/src/spec.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/wsn_scenario-cfa21761bd80af57.d: crates/scenario/src/lib.rs crates/scenario/src/failures.rs crates/scenario/src/field.rs crates/scenario/src/placement.rs crates/scenario/src/render.rs crates/scenario/src/spec.rs
+
+/root/repo/target/debug/deps/libwsn_scenario-cfa21761bd80af57.rlib: crates/scenario/src/lib.rs crates/scenario/src/failures.rs crates/scenario/src/field.rs crates/scenario/src/placement.rs crates/scenario/src/render.rs crates/scenario/src/spec.rs
+
+/root/repo/target/debug/deps/libwsn_scenario-cfa21761bd80af57.rmeta: crates/scenario/src/lib.rs crates/scenario/src/failures.rs crates/scenario/src/field.rs crates/scenario/src/placement.rs crates/scenario/src/render.rs crates/scenario/src/spec.rs
+
+crates/scenario/src/lib.rs:
+crates/scenario/src/failures.rs:
+crates/scenario/src/field.rs:
+crates/scenario/src/placement.rs:
+crates/scenario/src/render.rs:
+crates/scenario/src/spec.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/wsn_scenario-ea09578705118cef.d: crates/scenario/src/lib.rs crates/scenario/src/failures.rs crates/scenario/src/field.rs crates/scenario/src/placement.rs crates/scenario/src/render.rs crates/scenario/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwsn_scenario-ea09578705118cef.rmeta: crates/scenario/src/lib.rs crates/scenario/src/failures.rs crates/scenario/src/field.rs crates/scenario/src/placement.rs crates/scenario/src/render.rs crates/scenario/src/spec.rs Cargo.toml
+
+crates/scenario/src/lib.rs:
+crates/scenario/src/failures.rs:
+crates/scenario/src/field.rs:
+crates/scenario/src/placement.rs:
+crates/scenario/src/render.rs:
+crates/scenario/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wsn_setcover-30b059f28ec43735.d: crates/setcover/src/lib.rs crates/setcover/src/exact.rs crates/setcover/src/greedy.rs crates/setcover/src/instance.rs crates/setcover/src/transform.rs
+
+/root/repo/target/debug/deps/wsn_setcover-30b059f28ec43735: crates/setcover/src/lib.rs crates/setcover/src/exact.rs crates/setcover/src/greedy.rs crates/setcover/src/instance.rs crates/setcover/src/transform.rs
+
+crates/setcover/src/lib.rs:
+crates/setcover/src/exact.rs:
+crates/setcover/src/greedy.rs:
+crates/setcover/src/instance.rs:
+crates/setcover/src/transform.rs:

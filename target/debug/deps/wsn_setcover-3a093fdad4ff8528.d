@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/wsn_setcover-3a093fdad4ff8528.d: crates/setcover/src/lib.rs crates/setcover/src/exact.rs crates/setcover/src/greedy.rs crates/setcover/src/instance.rs crates/setcover/src/transform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwsn_setcover-3a093fdad4ff8528.rmeta: crates/setcover/src/lib.rs crates/setcover/src/exact.rs crates/setcover/src/greedy.rs crates/setcover/src/instance.rs crates/setcover/src/transform.rs Cargo.toml
+
+crates/setcover/src/lib.rs:
+crates/setcover/src/exact.rs:
+crates/setcover/src/greedy.rs:
+crates/setcover/src/instance.rs:
+crates/setcover/src/transform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/wsn_setcover-a5447e2fa97f5851.d: crates/setcover/src/lib.rs crates/setcover/src/exact.rs crates/setcover/src/greedy.rs crates/setcover/src/instance.rs crates/setcover/src/transform.rs
+
+/root/repo/target/debug/deps/libwsn_setcover-a5447e2fa97f5851.rlib: crates/setcover/src/lib.rs crates/setcover/src/exact.rs crates/setcover/src/greedy.rs crates/setcover/src/instance.rs crates/setcover/src/transform.rs
+
+/root/repo/target/debug/deps/libwsn_setcover-a5447e2fa97f5851.rmeta: crates/setcover/src/lib.rs crates/setcover/src/exact.rs crates/setcover/src/greedy.rs crates/setcover/src/instance.rs crates/setcover/src/transform.rs
+
+crates/setcover/src/lib.rs:
+crates/setcover/src/exact.rs:
+crates/setcover/src/greedy.rs:
+crates/setcover/src/instance.rs:
+crates/setcover/src/transform.rs:

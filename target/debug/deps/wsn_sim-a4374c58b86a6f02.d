@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wsn_sim-a4374c58b86a6f02.d: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/sched.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/wsn_sim-a4374c58b86a6f02: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/sched.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/event.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/sched.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/wsn_sim-c73b39a5095bc98f.d: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/sched.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libwsn_sim-c73b39a5095bc98f.rlib: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/sched.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libwsn_sim-c73b39a5095bc98f.rmeta: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/sched.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/event.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/sched.rs:
+crates/sim/src/time.rs:

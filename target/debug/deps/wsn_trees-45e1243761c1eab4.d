@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/wsn_trees-45e1243761c1eab4.d: crates/trees/src/lib.rs crates/trees/src/analysis.rs crates/trees/src/dijkstra.rs crates/trees/src/graph.rs crates/trees/src/models.rs crates/trees/src/steiner.rs crates/trees/src/stretch.rs crates/trees/src/trees.rs
+
+/root/repo/target/debug/deps/libwsn_trees-45e1243761c1eab4.rlib: crates/trees/src/lib.rs crates/trees/src/analysis.rs crates/trees/src/dijkstra.rs crates/trees/src/graph.rs crates/trees/src/models.rs crates/trees/src/steiner.rs crates/trees/src/stretch.rs crates/trees/src/trees.rs
+
+/root/repo/target/debug/deps/libwsn_trees-45e1243761c1eab4.rmeta: crates/trees/src/lib.rs crates/trees/src/analysis.rs crates/trees/src/dijkstra.rs crates/trees/src/graph.rs crates/trees/src/models.rs crates/trees/src/steiner.rs crates/trees/src/stretch.rs crates/trees/src/trees.rs
+
+crates/trees/src/lib.rs:
+crates/trees/src/analysis.rs:
+crates/trees/src/dijkstra.rs:
+crates/trees/src/graph.rs:
+crates/trees/src/models.rs:
+crates/trees/src/steiner.rs:
+crates/trees/src/stretch.rs:
+crates/trees/src/trees.rs:

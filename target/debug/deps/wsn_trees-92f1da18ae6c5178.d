@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/wsn_trees-92f1da18ae6c5178.d: crates/trees/src/lib.rs crates/trees/src/analysis.rs crates/trees/src/dijkstra.rs crates/trees/src/graph.rs crates/trees/src/models.rs crates/trees/src/steiner.rs crates/trees/src/stretch.rs crates/trees/src/trees.rs
+
+/root/repo/target/debug/deps/wsn_trees-92f1da18ae6c5178: crates/trees/src/lib.rs crates/trees/src/analysis.rs crates/trees/src/dijkstra.rs crates/trees/src/graph.rs crates/trees/src/models.rs crates/trees/src/steiner.rs crates/trees/src/stretch.rs crates/trees/src/trees.rs
+
+crates/trees/src/lib.rs:
+crates/trees/src/analysis.rs:
+crates/trees/src/dijkstra.rs:
+crates/trees/src/graph.rs:
+crates/trees/src/models.rs:
+crates/trees/src/steiner.rs:
+crates/trees/src/stretch.rs:
+crates/trees/src/trees.rs:

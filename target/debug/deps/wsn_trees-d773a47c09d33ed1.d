@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/wsn_trees-d773a47c09d33ed1.d: crates/trees/src/lib.rs crates/trees/src/analysis.rs crates/trees/src/dijkstra.rs crates/trees/src/graph.rs crates/trees/src/models.rs crates/trees/src/steiner.rs crates/trees/src/stretch.rs crates/trees/src/trees.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwsn_trees-d773a47c09d33ed1.rmeta: crates/trees/src/lib.rs crates/trees/src/analysis.rs crates/trees/src/dijkstra.rs crates/trees/src/graph.rs crates/trees/src/models.rs crates/trees/src/steiner.rs crates/trees/src/stretch.rs crates/trees/src/trees.rs Cargo.toml
+
+crates/trees/src/lib.rs:
+crates/trees/src/analysis.rs:
+crates/trees/src/dijkstra.rs:
+crates/trees/src/graph.rs:
+crates/trees/src/models.rs:
+crates/trees/src/steiner.rs:
+crates/trees/src/stretch.rs:
+crates/trees/src/trees.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

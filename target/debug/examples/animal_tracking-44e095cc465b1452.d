@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/animal_tracking-44e095cc465b1452.d: examples/animal_tracking.rs Cargo.toml
+
+/root/repo/target/debug/examples/libanimal_tracking-44e095cc465b1452.rmeta: examples/animal_tracking.rs Cargo.toml
+
+examples/animal_tracking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/animal_tracking-c04dee4417ed78af.d: examples/animal_tracking.rs
+
+/root/repo/target/debug/examples/animal_tracking-c04dee4417ed78af: examples/animal_tracking.rs
+
+examples/animal_tracking.rs:

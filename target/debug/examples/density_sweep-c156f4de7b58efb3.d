@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/density_sweep-c156f4de7b58efb3.d: examples/density_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdensity_sweep-c156f4de7b58efb3.rmeta: examples/density_sweep.rs Cargo.toml
+
+examples/density_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/density_sweep-e9c7665d84381fee.d: examples/density_sweep.rs
+
+/root/repo/target/debug/examples/density_sweep-e9c7665d84381fee: examples/density_sweep.rs
+
+examples/density_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/failure_robustness-465d72c98ae4f2d8.d: examples/failure_robustness.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfailure_robustness-465d72c98ae4f2d8.rmeta: examples/failure_robustness.rs Cargo.toml
+
+examples/failure_robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failure_robustness-9ad4d33d69e8e5f8.d: examples/failure_robustness.rs
+
+/root/repo/target/debug/examples/failure_robustness-9ad4d33d69e8e5f8: examples/failure_robustness.rs
+
+examples/failure_robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-006db592c9ed9261.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-006db592c9ed9261: examples/quickstart.rs
+
+examples/quickstart.rs:

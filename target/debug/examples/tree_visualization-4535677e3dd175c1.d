@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tree_visualization-4535677e3dd175c1.d: examples/tree_visualization.rs
+
+/root/repo/target/debug/examples/tree_visualization-4535677e3dd175c1: examples/tree_visualization.rs
+
+examples/tree_visualization.rs:

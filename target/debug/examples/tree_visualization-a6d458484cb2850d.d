@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tree_visualization-a6d458484cb2850d.d: examples/tree_visualization.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtree_visualization-a6d458484cb2850d.rmeta: examples/tree_visualization.rs Cargo.toml
+
+examples/tree_visualization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

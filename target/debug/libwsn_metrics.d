@@ -1,0 +1,1 @@
+/root/repo/target/debug/libwsn_metrics.rlib: /root/repo/crates/metrics/src/lib.rs /root/repo/crates/metrics/src/record.rs /root/repo/crates/metrics/src/stats.rs /root/repo/crates/metrics/src/table.rs

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-bd819582213d940d.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-bd819582213d940d: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

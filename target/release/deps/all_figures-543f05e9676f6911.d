@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_figures-543f05e9676f6911.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/release/deps/all_figures-543f05e9676f6911: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baselines-469cc4799f989167.d: crates/bench/src/bin/baselines.rs
+
+/root/repo/target/release/deps/baselines-469cc4799f989167: crates/bench/src/bin/baselines.rs
+
+crates/bench/src/bin/baselines.rs:

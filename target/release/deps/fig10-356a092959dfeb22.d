@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-356a092959dfeb22.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-356a092959dfeb22: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

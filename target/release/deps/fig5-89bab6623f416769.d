@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-89bab6623f416769.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-89bab6623f416769: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

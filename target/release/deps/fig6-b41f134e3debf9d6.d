@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-b41f134e3debf9d6.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-b41f134e3debf9d6: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-5817556303e8ae02.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-5817556303e8ae02: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-bbd65f6960613105.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-bbd65f6960613105: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-dc130ca17ecdc228.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-dc130ca17ecdc228: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/krishnamachari-cdf037b1bb108948.d: crates/bench/src/bin/krishnamachari.rs
+
+/root/repo/target/release/deps/krishnamachari-cdf037b1bb108948: crates/bench/src/bin/krishnamachari.rs
+
+crates/bench/src/bin/krishnamachari.rs:

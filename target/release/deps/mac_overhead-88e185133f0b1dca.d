@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mac_overhead-88e185133f0b1dca.d: crates/bench/src/bin/mac_overhead.rs
+
+/root/repo/target/release/deps/mac_overhead-88e185133f0b1dca: crates/bench/src/bin/mac_overhead.rs
+
+crates/bench/src/bin/mac_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/run_one-6f65f2e48669210c.d: crates/bench/src/bin/run_one.rs
+
+/root/repo/target/release/deps/run_one-6f65f2e48669210c: crates/bench/src/bin/run_one.rs
+
+crates/bench/src/bin/run_one.rs:

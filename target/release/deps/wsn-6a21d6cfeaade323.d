@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/wsn-6a21d6cfeaade323.d: src/lib.rs
+
+/root/repo/target/release/deps/libwsn-6a21d6cfeaade323.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libwsn-6a21d6cfeaade323.rmeta: src/lib.rs
+
+src/lib.rs:

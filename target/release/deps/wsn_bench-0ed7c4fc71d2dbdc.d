@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/wsn_bench-0ed7c4fc71d2dbdc.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libwsn_bench-0ed7c4fc71d2dbdc.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libwsn_bench-0ed7c4fc71d2dbdc.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

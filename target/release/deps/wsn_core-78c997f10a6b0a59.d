@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/wsn_core-78c997f10a6b0a59.d: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/figures.rs crates/core/src/runner.rs crates/core/src/sweep.rs
+
+/root/repo/target/release/deps/libwsn_core-78c997f10a6b0a59.rlib: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/figures.rs crates/core/src/runner.rs crates/core/src/sweep.rs
+
+/root/repo/target/release/deps/libwsn_core-78c997f10a6b0a59.rmeta: crates/core/src/lib.rs crates/core/src/experiment.rs crates/core/src/figures.rs crates/core/src/runner.rs crates/core/src/sweep.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiment.rs:
+crates/core/src/figures.rs:
+crates/core/src/runner.rs:
+crates/core/src/sweep.rs:

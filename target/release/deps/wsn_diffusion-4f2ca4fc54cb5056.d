@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/wsn_diffusion-4f2ca4fc54cb5056.d: crates/diffusion/src/lib.rs crates/diffusion/src/aggregate.rs crates/diffusion/src/cache.rs crates/diffusion/src/config.rs crates/diffusion/src/flooding.rs crates/diffusion/src/gradient.rs crates/diffusion/src/msg.rs crates/diffusion/src/naming.rs crates/diffusion/src/node.rs crates/diffusion/src/stats.rs crates/diffusion/src/truncate.rs
+
+/root/repo/target/release/deps/libwsn_diffusion-4f2ca4fc54cb5056.rlib: crates/diffusion/src/lib.rs crates/diffusion/src/aggregate.rs crates/diffusion/src/cache.rs crates/diffusion/src/config.rs crates/diffusion/src/flooding.rs crates/diffusion/src/gradient.rs crates/diffusion/src/msg.rs crates/diffusion/src/naming.rs crates/diffusion/src/node.rs crates/diffusion/src/stats.rs crates/diffusion/src/truncate.rs
+
+/root/repo/target/release/deps/libwsn_diffusion-4f2ca4fc54cb5056.rmeta: crates/diffusion/src/lib.rs crates/diffusion/src/aggregate.rs crates/diffusion/src/cache.rs crates/diffusion/src/config.rs crates/diffusion/src/flooding.rs crates/diffusion/src/gradient.rs crates/diffusion/src/msg.rs crates/diffusion/src/naming.rs crates/diffusion/src/node.rs crates/diffusion/src/stats.rs crates/diffusion/src/truncate.rs
+
+crates/diffusion/src/lib.rs:
+crates/diffusion/src/aggregate.rs:
+crates/diffusion/src/cache.rs:
+crates/diffusion/src/config.rs:
+crates/diffusion/src/flooding.rs:
+crates/diffusion/src/gradient.rs:
+crates/diffusion/src/msg.rs:
+crates/diffusion/src/naming.rs:
+crates/diffusion/src/node.rs:
+crates/diffusion/src/stats.rs:
+crates/diffusion/src/truncate.rs:

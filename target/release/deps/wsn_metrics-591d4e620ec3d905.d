@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/wsn_metrics-591d4e620ec3d905.d: crates/metrics/src/lib.rs crates/metrics/src/record.rs crates/metrics/src/stats.rs crates/metrics/src/table.rs
+
+/root/repo/target/release/deps/libwsn_metrics-591d4e620ec3d905.rlib: crates/metrics/src/lib.rs crates/metrics/src/record.rs crates/metrics/src/stats.rs crates/metrics/src/table.rs
+
+/root/repo/target/release/deps/libwsn_metrics-591d4e620ec3d905.rmeta: crates/metrics/src/lib.rs crates/metrics/src/record.rs crates/metrics/src/stats.rs crates/metrics/src/table.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/record.rs:
+crates/metrics/src/stats.rs:
+crates/metrics/src/table.rs:

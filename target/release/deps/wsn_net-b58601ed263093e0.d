@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/wsn_net-b58601ed263093e0.d: crates/net/src/lib.rs crates/net/src/config.rs crates/net/src/energy.rs crates/net/src/engine.rs crates/net/src/node.rs crates/net/src/packet.rs crates/net/src/position.rs crates/net/src/protocol.rs crates/net/src/topology.rs
+
+/root/repo/target/release/deps/libwsn_net-b58601ed263093e0.rlib: crates/net/src/lib.rs crates/net/src/config.rs crates/net/src/energy.rs crates/net/src/engine.rs crates/net/src/node.rs crates/net/src/packet.rs crates/net/src/position.rs crates/net/src/protocol.rs crates/net/src/topology.rs
+
+/root/repo/target/release/deps/libwsn_net-b58601ed263093e0.rmeta: crates/net/src/lib.rs crates/net/src/config.rs crates/net/src/energy.rs crates/net/src/engine.rs crates/net/src/node.rs crates/net/src/packet.rs crates/net/src/position.rs crates/net/src/protocol.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/config.rs:
+crates/net/src/energy.rs:
+crates/net/src/engine.rs:
+crates/net/src/node.rs:
+crates/net/src/packet.rs:
+crates/net/src/position.rs:
+crates/net/src/protocol.rs:
+crates/net/src/topology.rs:

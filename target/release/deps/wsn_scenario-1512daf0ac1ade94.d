@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/wsn_scenario-1512daf0ac1ade94.d: crates/scenario/src/lib.rs crates/scenario/src/failures.rs crates/scenario/src/field.rs crates/scenario/src/placement.rs crates/scenario/src/render.rs crates/scenario/src/spec.rs
+
+/root/repo/target/release/deps/libwsn_scenario-1512daf0ac1ade94.rlib: crates/scenario/src/lib.rs crates/scenario/src/failures.rs crates/scenario/src/field.rs crates/scenario/src/placement.rs crates/scenario/src/render.rs crates/scenario/src/spec.rs
+
+/root/repo/target/release/deps/libwsn_scenario-1512daf0ac1ade94.rmeta: crates/scenario/src/lib.rs crates/scenario/src/failures.rs crates/scenario/src/field.rs crates/scenario/src/placement.rs crates/scenario/src/render.rs crates/scenario/src/spec.rs
+
+crates/scenario/src/lib.rs:
+crates/scenario/src/failures.rs:
+crates/scenario/src/field.rs:
+crates/scenario/src/placement.rs:
+crates/scenario/src/render.rs:
+crates/scenario/src/spec.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/wsn_setcover-30f93148be925be1.d: crates/setcover/src/lib.rs crates/setcover/src/exact.rs crates/setcover/src/greedy.rs crates/setcover/src/instance.rs crates/setcover/src/transform.rs
+
+/root/repo/target/release/deps/libwsn_setcover-30f93148be925be1.rlib: crates/setcover/src/lib.rs crates/setcover/src/exact.rs crates/setcover/src/greedy.rs crates/setcover/src/instance.rs crates/setcover/src/transform.rs
+
+/root/repo/target/release/deps/libwsn_setcover-30f93148be925be1.rmeta: crates/setcover/src/lib.rs crates/setcover/src/exact.rs crates/setcover/src/greedy.rs crates/setcover/src/instance.rs crates/setcover/src/transform.rs
+
+crates/setcover/src/lib.rs:
+crates/setcover/src/exact.rs:
+crates/setcover/src/greedy.rs:
+crates/setcover/src/instance.rs:
+crates/setcover/src/transform.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/wsn_sim-6320cd892e7cc256.d: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/sched.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libwsn_sim-6320cd892e7cc256.rlib: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/sched.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libwsn_sim-6320cd892e7cc256.rmeta: crates/sim/src/lib.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/sched.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/event.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/sched.rs:
+crates/sim/src/time.rs:

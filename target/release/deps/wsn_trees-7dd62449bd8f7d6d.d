@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/wsn_trees-7dd62449bd8f7d6d.d: crates/trees/src/lib.rs crates/trees/src/analysis.rs crates/trees/src/dijkstra.rs crates/trees/src/graph.rs crates/trees/src/models.rs crates/trees/src/steiner.rs crates/trees/src/stretch.rs crates/trees/src/trees.rs
+
+/root/repo/target/release/deps/libwsn_trees-7dd62449bd8f7d6d.rlib: crates/trees/src/lib.rs crates/trees/src/analysis.rs crates/trees/src/dijkstra.rs crates/trees/src/graph.rs crates/trees/src/models.rs crates/trees/src/steiner.rs crates/trees/src/stretch.rs crates/trees/src/trees.rs
+
+/root/repo/target/release/deps/libwsn_trees-7dd62449bd8f7d6d.rmeta: crates/trees/src/lib.rs crates/trees/src/analysis.rs crates/trees/src/dijkstra.rs crates/trees/src/graph.rs crates/trees/src/models.rs crates/trees/src/steiner.rs crates/trees/src/stretch.rs crates/trees/src/trees.rs
+
+crates/trees/src/lib.rs:
+crates/trees/src/analysis.rs:
+crates/trees/src/dijkstra.rs:
+crates/trees/src/graph.rs:
+crates/trees/src/models.rs:
+crates/trees/src/steiner.rs:
+crates/trees/src/stretch.rs:
+crates/trees/src/trees.rs:

@@ -48,12 +48,16 @@ fn energy_brackets_hold() {
     let git = greedy_incremental_tree(
         &g,
         instance.sinks[0].index(),
-        &instance.sources.iter().map(|s| s.index()).collect::<Vec<_>>(),
+        &instance
+            .sources
+            .iter()
+            .map(|s| s.index())
+            .collect::<Vec<_>>(),
     );
     let cfg = NetConfig::default();
     let frame_s = cfg.tx_duration(64).as_secs_f64();
-    let per_frame = frame_s
-        * (cfg.energy.tx_w + instance.field.topology.average_degree() * cfg.energy.rx_w);
+    let per_frame =
+        frame_s * (cfg.energy.tx_w + instance.field.topology.average_degree() * cfg.energy.rx_w);
     let oracle = git.cost * per_frame / 150.0 / 5.0;
 
     assert!(

@@ -23,7 +23,11 @@ fn both_schemes_deliver_on_the_paper_scenario() {
             "{scheme} delivered only {:.3}",
             m.delivery_ratio
         );
-        assert!(m.avg_delay_s > 0.0 && m.avg_delay_s < 5.0, "{scheme} delay {}", m.avg_delay_s);
+        assert!(
+            m.avg_delay_s > 0.0 && m.avg_delay_s < 5.0,
+            "{scheme} delay {}",
+            m.avg_delay_s
+        );
         assert!(m.avg_dissipated_energy.is_finite());
         assert!(m.avg_activity_energy < m.avg_dissipated_energy);
     }
@@ -34,7 +38,10 @@ fn runs_are_deterministic() {
     let spec = short_spec(80, 2);
     let a = Experiment::new(spec.clone(), Scheme::Greedy).run();
     let b = Experiment::new(spec, Scheme::Greedy).run();
-    assert_eq!(a.record, b.record, "identical seeds must give identical runs");
+    assert_eq!(
+        a.record, b.record,
+        "identical seeds must give identical runs"
+    );
     assert_eq!(a.per_sink_distinct, b.per_sink_distinct);
 }
 
@@ -74,7 +81,9 @@ fn greedy_saves_communication_energy_on_dense_fields() {
     );
     // And delivery must not be sacrificed for it.
     let g = point.summary(Scheme::Greedy, MetricKind::Delivery).mean;
-    let o = point.summary(Scheme::Opportunistic, MetricKind::Delivery).mean;
+    let o = point
+        .summary(Scheme::Opportunistic, MetricKind::Delivery)
+        .mean;
     assert!(g > 0.7, "greedy delivery {g:.3}");
     assert!(o > 0.7, "opportunistic delivery {o:.3}");
 }
@@ -90,7 +99,10 @@ fn node_failures_reduce_but_do_not_destroy_delivery() {
     let h = healthy.record.metrics().delivery_ratio;
     let f = failing.record.metrics().delivery_ratio;
     assert!(f > 0.2, "failures wiped out delivery entirely: {f:.3}");
-    assert!(f <= h + 0.05, "failures should not improve delivery: {f:.3} vs {h:.3}");
+    assert!(
+        f <= h + 0.05,
+        "failures should not improve delivery: {f:.3} vs {h:.3}"
+    );
 }
 
 #[test]
@@ -105,7 +117,11 @@ fn multiple_sinks_all_receive() {
         assert!(*distinct > 0, "sink {sink} received nothing");
     }
     let m = outcome.record.metrics();
-    assert!(m.delivery_ratio > 0.4, "multi-sink delivery {:.3}", m.delivery_ratio);
+    assert!(
+        m.delivery_ratio > 0.4,
+        "multi-sink delivery {:.3}",
+        m.delivery_ratio
+    );
 }
 
 #[test]
@@ -169,5 +185,9 @@ fn record_counters_are_consistent() {
     assert!(r.activity_energy_j < r.total_energy_j);
     assert!(r.distinct_events <= r.events_generated);
     // 60 s run, events start at 5 s, 2/s × 5 sources = 550 expected.
-    assert!((500..=560).contains(&r.events_generated), "{}", r.events_generated);
+    assert!(
+        (500..=560).contains(&r.events_generated),
+        "{}",
+        r.events_generated
+    );
 }

@@ -65,15 +65,13 @@ fn incremental_cost_messages_flow_only_in_greedy() {
     // Two sources near each other, multi-hop from the sink — the second
     // source should advertise the tree with incremental cost messages.
     let positions = vec![
-        Position::new(0.0, 0.0),   // source A
-        Position::new(0.0, 25.0),  // source B
-        Position::new(30.0, 0.0),  // relay
-        Position::new(60.0, 0.0),  // relay
-        Position::new(90.0, 0.0),  // sink
+        Position::new(0.0, 0.0),  // source A
+        Position::new(0.0, 25.0), // source B
+        Position::new(30.0, 0.0), // relay
+        Position::new(60.0, 0.0), // relay
+        Position::new(90.0, 0.0), // sink
     ];
-    for (scheme, expect_incremental) in
-        [(Scheme::Greedy, true), (Scheme::Opportunistic, false)]
-    {
+    for (scheme, expect_incremental) in [(Scheme::Greedy, true), (Scheme::Opportunistic, false)] {
         let topo = Topology::new(positions.clone(), 40.0);
         let cfg = DiffusionConfig::for_scheme(scheme);
         let mut net = Network::new(topo, NetConfig::default(), 13, |id| {
@@ -262,7 +260,11 @@ fn a_sink_can_relay_for_another_sink() {
     let near = net.protocol(NodeId(1));
     let far = net.protocol(NodeId(3));
     // 110 events generated; the near sink hears essentially all of them.
-    assert!(near.sink.distinct > 95, "near sink got {}", near.sink.distinct);
+    assert!(
+        near.sink.distinct > 95,
+        "near sink got {}",
+        near.sink.distinct
+    );
     // The far sink can only be fed through the near sink's relaying.
     assert!(far.sink.distinct > 80, "far sink got {}", far.sink.distinct);
     let now = net.now();

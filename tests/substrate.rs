@@ -37,13 +37,7 @@ impl Protocol for Scripted {
 
     fn on_start(&mut self, ctx: &mut Ctx<'_, u32, Send>) {
         for (delay, dst, payload) in self.script.clone() {
-            ctx.set_timer(
-                delay,
-                Send {
-                    dst,
-                    payload,
-                },
-            );
+            ctx.set_timer(delay, Send { dst, payload });
         }
     }
 
@@ -67,7 +61,9 @@ impl Protocol for Scripted {
 
 fn line(n: usize) -> Topology {
     Topology::new(
-        (0..n).map(|i| Position::new(i as f64 * 30.0, 0.0)).collect(),
+        (0..n)
+            .map(|i| Position::new(i as f64 * 30.0, 0.0))
+            .collect(),
         40.0,
     )
 }
@@ -156,8 +152,15 @@ fn hidden_terminals_collide_but_arq_recovers() {
         .collect();
     payloads.sort_unstable();
     payloads.dedup();
-    assert_eq!(payloads, vec![10, 20], "ARQ failed to recover from the collision");
-    assert!(net.stats().collisions > 0, "no collision was even attempted");
+    assert_eq!(
+        payloads,
+        vec![10, 20],
+        "ARQ failed to recover from the collision"
+    );
+    assert!(
+        net.stats().collisions > 0,
+        "no collision was even attempted"
+    );
 }
 
 #[test]
@@ -235,14 +238,13 @@ fn substrate_is_deterministic() {
         let mut net = Network::new(line(5), NetConfig::default(), 9, |id| {
             let mut p = Scripted::silent();
             p.script.push((ms(10 + u64::from(id.0)), None, id.0));
-            p.script.push((ms(500), Some(NodeId((id.0 + 1) % 5)), 100 + id.0));
+            p.script
+                .push((ms(500), Some(NodeId((id.0 + 1) % 5)), 100 + id.0));
             p
         });
         net.run_until(SimTime::from_secs(2));
-        let receptions: Vec<Vec<(NodeId, u32)>> = net
-            .protocols()
-            .map(|(_, p)| p.received.clone())
-            .collect();
+        let receptions: Vec<Vec<(NodeId, u32)>> =
+            net.protocols().map(|(_, p)| p.received.clone()).collect();
         (net.total_energy(), receptions)
     };
     let (e1, r1) = run();

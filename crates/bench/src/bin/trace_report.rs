@@ -1,0 +1,101 @@
+//! Reduce a directory of run traces (written by `--trace DIR` on any figure
+//! binary) into figure-style summaries: per-node energy histogram, the top-N
+//! hottest nodes, and totals, per trace file and aggregated.
+//!
+//! ```sh
+//! cargo run --release -p wsn-bench --bin fig8 -- --quick --trace traces/
+//! cargo run --release -p wsn-bench --bin trace_report -- traces/ --top 10
+//! ```
+//!
+//! Also accepts a single `.jsonl` file in place of a directory. Exits with
+//! status 2 when the path does not exist or holds no trace files.
+
+use std::path::{Path, PathBuf};
+
+use wsn_trace::TraceSummary;
+
+struct Args {
+    path: PathBuf,
+    top: usize,
+    buckets: usize,
+}
+
+fn parse_args() -> Args {
+    let mut path: Option<PathBuf> = None;
+    let mut top = 5usize;
+    let mut buckets = 10usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| panic!("{a} needs a value"));
+        match a.as_str() {
+            "--top" => top = val().parse().expect("--top takes an integer"),
+            "--buckets" => buckets = val().parse().expect("--buckets takes an integer"),
+            other if other.starts_with("--") => {
+                panic!(
+                    "unknown argument {other:?}; usage: trace_report DIR [--top N] [--buckets N]"
+                )
+            }
+            other => {
+                assert!(
+                    path.is_none(),
+                    "at most one trace path, got a second: {other:?}"
+                );
+                path = Some(PathBuf::from(other));
+            }
+        }
+    }
+    Args {
+        path: path.expect("usage: trace_report DIR [--top N] [--buckets N]"),
+        top,
+        buckets,
+    }
+}
+
+/// The `.jsonl` files under `path` (or `path` itself if it is a file),
+/// sorted by name for deterministic report order.
+fn trace_files(path: &Path) -> Vec<PathBuf> {
+    if path.is_file() {
+        return vec![path.to_path_buf()];
+    }
+    let Ok(entries) = std::fs::read_dir(path) else {
+        return Vec::new();
+    };
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+        .collect();
+    files.sort();
+    files
+}
+
+fn main() {
+    let args = parse_args();
+    let files = trace_files(&args.path);
+    if files.is_empty() {
+        eprintln!("error: no .jsonl trace files at {}", args.path.display());
+        std::process::exit(2);
+    }
+    let mut grand_energy = 0.0;
+    let mut grand_records = 0u64;
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", file.display());
+                std::process::exit(2);
+            }
+        };
+        let summary = TraceSummary::from_text(&text);
+        println!("=== {} ===", file.display());
+        print!("{}", summary.render(args.top, args.buckets));
+        println!();
+        grand_energy += summary.total_energy_j();
+        grand_records += summary.records;
+    }
+    println!(
+        "# {} trace file(s), {} records, {:.9} J total debited energy",
+        files.len(),
+        grand_records,
+        grand_energy
+    );
+}

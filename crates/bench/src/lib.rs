@@ -14,8 +14,12 @@
 //! * `--max-events N` — per-run watchdog budget (max dispatched simulator
 //!   events); a run that exceeds it aborts the sweep with an error naming
 //!   the offending `(point, field, scheme)`;
-//! * `--progress` — per-job progress lines on stderr (point, field, scheme,
-//!   simulator events, wall ms).
+//! * `--progress` — per-job NDJSON progress lines on stderr (point, field,
+//!   scheme, simulator events, simulated seconds, wall ms, events/sec);
+//! * `--trace DIR` — write one JSONL telemetry trace per job into `DIR`
+//!   (created if absent), named `point<x>_field<i>_<scheme>.jsonl`; reduce
+//!   a trace directory with the `trace_report` binary. Same seed ⇒
+//!   byte-identical trace files.
 //!
 //! Output is the three metric panels of the figure as aligned text tables
 //! (mean ± standard deviation over fields) followed by CSV blocks, suitable
@@ -25,7 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use wsn_core::{run_figure_with, Figure, FigureData, FigureParams, Runner};
+use wsn_core::{run_figure_with, Figure, FigureData, FigureParams, Runner, TraceSpec};
 use wsn_sim::SimDuration;
 
 /// Command-line options shared by the figure binaries.
@@ -78,9 +82,16 @@ impl HarnessOptions {
                     let v = it.next().expect("--max-events needs a value");
                     runner.max_events = Some(v.parse().expect("--max-events takes an integer"));
                 }
+                "--trace" => {
+                    let dir = it.next().expect("--trace needs a directory");
+                    std::fs::create_dir_all(&dir)
+                        .unwrap_or_else(|e| panic!("cannot create trace directory {dir:?}: {e}"));
+                    runner.trace = Some(TraceSpec::new(dir));
+                }
                 other => panic!(
                     "unknown argument {other:?}; usage: [--quick] [--fields N] [--duration SECS] \
-                     [--seed SEED] [--no-csv] [--jobs N] [--max-events N] [--progress]"
+                     [--seed SEED] [--no-csv] [--jobs N] [--max-events N] [--progress] \
+                     [--trace DIR]"
                 ),
             }
         }
@@ -186,6 +197,16 @@ mod tests {
         assert_eq!(o.runner.effective_workers(), 3);
         assert_eq!(o.runner.max_events, Some(5000));
         assert!(o.runner.progress);
+    }
+
+    #[test]
+    fn trace_flag_creates_the_directory_and_wires_the_runner() {
+        let dir = std::env::temp_dir().join("wsn_bench_trace_flag_test");
+        let o = HarnessOptions::parse(s(&["--trace", dir.to_str().expect("utf-8 temp path")]));
+        let spec = o.runner.trace.expect("--trace sets a trace spec");
+        assert_eq!(spec.dir, dir);
+        assert!(dir.is_dir());
+        let _ = std::fs::remove_dir(&dir);
     }
 
     #[test]

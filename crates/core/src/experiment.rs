@@ -2,9 +2,10 @@
 
 use wsn_diffusion::{DiffusionConfig, DiffusionNode, Role, Scheme};
 use wsn_metrics::RunRecord;
-use wsn_net::{EventBudgetExceeded, NetConfig, Network, NodeId};
+use wsn_net::{EventBudgetExceeded, NetConfig, Network, NodeId, TraceOptions};
 use wsn_scenario::{ScenarioInstance, ScenarioSpec};
 use wsn_sim::RunAccounting;
+use wsn_trace::SharedSink;
 
 /// A fully specified experiment run.
 ///
@@ -90,6 +91,25 @@ impl Experiment {
         self.run_on_budgeted(&instance, max_events)
     }
 
+    /// [`run_budgeted`](Experiment::run_budgeted) with an optional trace
+    /// sink: the run's telemetry records stream into `sink`, which is
+    /// flushed (best-effort) before this returns — including on the
+    /// watchdog-error path, so a cut-off run still leaves a usable partial
+    /// trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventBudgetExceeded`] if the budget runs out before the
+    /// scenario's end time.
+    pub fn run_budgeted_traced(
+        &self,
+        max_events: u64,
+        trace: Option<(SharedSink, TraceOptions)>,
+    ) -> Result<RunOutcome, EventBudgetExceeded> {
+        let instance = self.scenario.instantiate();
+        self.run_on_traced(&instance, max_events, trace)
+    }
+
     /// [`run_on`](Experiment::run_on) under a watchdog budget; see
     /// [`run_budgeted`](Experiment::run_budgeted).
     ///
@@ -101,6 +121,28 @@ impl Experiment {
         &self,
         instance: &ScenarioInstance,
         max_events: u64,
+    ) -> Result<RunOutcome, EventBudgetExceeded> {
+        self.run_on_traced(instance, max_events, None)
+    }
+
+    /// The full-control entry point: instantiated scenario, watchdog budget,
+    /// optional trace sink.
+    ///
+    /// The trace is closed out *after* the metrics are harvested, so a
+    /// traced run produces bit-identical metrics to an untraced one (closing
+    /// the energy meters folds partially elapsed intervals into their
+    /// per-state buckets, which can perturb the floating-point summation
+    /// order by an ulp).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventBudgetExceeded`] if the budget runs out before the
+    /// scenario's end time.
+    pub fn run_on_traced(
+        &self,
+        instance: &ScenarioInstance,
+        max_events: u64,
+        trace: Option<(SharedSink, TraceOptions)>,
     ) -> Result<RunOutcome, EventBudgetExceeded> {
         let diffusion = self.diffusion.clone();
         let mut net = Network::new(
@@ -119,7 +161,15 @@ impl Experiment {
                 net.schedule_up(e.at, e.node);
             }
         }
-        net.run_until_capped(instance.end, max_events)?;
+        if let Some((sink, opts)) = trace {
+            net.set_trace(sink, opts);
+        }
+        let run_result = net.run_until_capped(instance.end, max_events);
+        if let Err(cause) = run_result {
+            // Flush the partial trace so a watchdog trip is diagnosable.
+            let _ = net.finish_trace();
+            return Err(cause);
+        }
 
         let mut distinct_events = 0;
         let mut delay_sum_s = 0.0;
@@ -156,12 +206,18 @@ impl Experiment {
             tx_bytes: stats.total_tx_bytes(),
             collisions: stats.collisions,
         };
-        Ok(RunOutcome {
+        let outcome = RunOutcome {
             record,
             per_sink_distinct,
             items_dropped_no_gradient: items_dropped,
             hotspot,
             accounting: net.accounting(),
-        })
+        };
+        // Close the trace only after harvesting (see the method docs); the
+        // flush error is deliberately swallowed — the record stream already
+        // tolerates mid-run write failures, and metrics must not depend on
+        // trace I/O.
+        let _ = net.finish_trace();
+        Ok(outcome)
     }
 }

@@ -43,7 +43,7 @@ mod sweep;
 
 pub use experiment::{Experiment, RunOutcome};
 pub use figures::{run_figure, run_figure_with, Figure, FigureData, FigureParams};
-pub use runner::{JobError, JobReport, RunJob, Runner};
+pub use runner::{JobError, JobReport, RunJob, Runner, TraceSpec};
 pub use sweep::{
     collect_points, compare_point, compare_point_with, field_seed, run_sweep, sweep_jobs,
     ComparisonPoint, MetricKind,

@@ -25,15 +25,17 @@
 //! naming the offending `(point, field, scheme)` instead of hanging the
 //! whole sweep; sibling jobs complete normally.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 use wsn_diffusion::{DiffusionConfig, Scheme};
 use wsn_metrics::PaperMetrics;
-use wsn_net::{EventBudgetExceeded, NetConfig};
+use wsn_net::{EventBudgetExceeded, NetConfig, TraceOptions};
 use wsn_scenario::ScenarioSpec;
-use wsn_sim::RunAccounting;
+use wsn_sim::{RunAccounting, SimDuration};
+use wsn_trace::JsonlSink;
 
 use crate::experiment::Experiment;
 
@@ -76,6 +78,52 @@ pub struct JobReport {
     /// Wall-clock milliseconds the job took (informational; never feeds
     /// back into results).
     pub wall_ms: f64,
+    /// Simulator events dispatched per wall-clock second — the runner's
+    /// throughput figure (informational, like [`JobReport::wall_ms`]).
+    pub events_per_sec: f64,
+}
+
+/// Where (and how densely) the runner writes per-job trace artifacts.
+///
+/// One `.jsonl` file per job lands in [`TraceSpec::dir`], named
+/// `point{x}_field{f}_{scheme}.jsonl` — the same `(point, field, scheme)`
+/// coordinates that identify the job in progress output and errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSpec {
+    /// Directory receiving the per-job `.jsonl` files (must already exist).
+    pub dir: PathBuf,
+    /// Cadence of per-node snapshot records; `None` disables snapshots.
+    pub snapshot_every: Option<SimDuration>,
+    /// Record every kernel dispatch (high volume; off by default).
+    pub dispatch: bool,
+}
+
+impl TraceSpec {
+    /// Traces into `dir` with a 10-second snapshot cadence and no dispatch
+    /// records — the defaults behind the bench harness `--trace` flag.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        TraceSpec {
+            dir: dir.into(),
+            snapshot_every: Some(SimDuration::from_secs(10)),
+            dispatch: false,
+        }
+    }
+
+    /// The engine-side options this spec selects.
+    pub fn options(&self) -> TraceOptions {
+        TraceOptions {
+            snapshot_every: self.snapshot_every,
+            dispatch: self.dispatch,
+        }
+    }
+
+    /// The trace-file path for one job's coordinates.
+    pub fn job_path(&self, point_x: f64, field_index: usize, scheme: Scheme) -> PathBuf {
+        // f64 Display is shortest-round-trip: integral points print without
+        // a trailing ".0" (60, not 60.0), fractional ones keep their dot.
+        self.dir
+            .join(format!("point{point_x}_field{field_index}_{scheme}.jsonl"))
+    }
 }
 
 /// A job that tripped the watchdog, identified by its sweep coordinates.
@@ -118,17 +166,22 @@ pub struct Runner {
     /// Default per-job watchdog budget (max dispatched simulator events);
     /// `None` disables the watchdog.
     pub max_events: Option<u64>,
-    /// Emit one structured progress line per finished job on stderr.
+    /// Emit one NDJSON progress line per finished job on stderr.
     pub progress: bool,
+    /// Write one `.jsonl` trace per job; `None` (the default) runs
+    /// untraced — the zero-overhead path.
+    pub trace: Option<TraceSpec>,
 }
 
 impl Runner {
-    /// A single-worker runner with no watchdog and no progress output.
+    /// A single-worker runner with no watchdog, no progress output, and no
+    /// tracing.
     pub fn serial() -> Self {
         Runner {
             workers: 1,
             max_events: None,
             progress: false,
+            trace: None,
         }
     }
 
@@ -178,24 +231,37 @@ impl Runner {
         exp.diffusion = job.config.clone();
         exp.diffusion.scheme = job.scheme;
         exp.net = job.net.clone();
-        let result = exp.run_budgeted(budget);
+        // The sink is created (and owned) on whichever worker thread runs
+        // the job; it never crosses threads, so the single-threaded
+        // `Rc<RefCell<…>>` handle suffices.
+        let trace = self.trace.as_ref().map(|spec| {
+            let path = spec.job_path(job.point_x, job.field_index, job.scheme);
+            let sink = JsonlSink::create(&path)
+                .unwrap_or_else(|e| panic!("cannot create trace file {}: {e}", path.display()));
+            (wsn_trace::shared(sink), spec.options())
+        });
+        let result = exp.run_budgeted_traced(budget, trace);
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
         match result {
             Ok(outcome) => {
+                let events = outcome.accounting.events_processed;
                 let report = JobReport {
                     metrics: outcome.record.metrics(),
                     accounting: outcome.accounting,
                     wall_ms,
+                    events_per_sec: events_per_sec(events, wall_ms),
                 };
                 if self.progress {
                     eprintln!(
-                        "# job point={} field={} scheme={} events={} sim_s={:.1} wall_ms={:.0}",
+                        "{{\"job\":\"done\",\"point\":{},\"field\":{},\"scheme\":\"{}\",\
+                         \"events\":{},\"sim_s\":{:.1},\"wall_ms\":{:.1},\"events_per_sec\":{:.0}}}",
                         job.point_x,
                         job.field_index,
                         job.scheme,
-                        report.accounting.events_processed,
+                        events,
                         report.accounting.final_time.as_secs_f64(),
                         wall_ms,
+                        report.events_per_sec,
                     );
                 }
                 Ok(report)
@@ -203,7 +269,8 @@ impl Runner {
             Err(cause) => {
                 if self.progress {
                     eprintln!(
-                        "# job point={} field={} scheme={} events={} sim_s={:.1} wall_ms={:.0} ERROR budget",
+                        "{{\"job\":\"error\",\"point\":{},\"field\":{},\"scheme\":\"{}\",\
+                         \"events\":{},\"sim_s\":{:.1},\"wall_ms\":{:.1},\"error\":\"budget\"}}",
                         job.point_x,
                         job.field_index,
                         job.scheme,
@@ -275,6 +342,16 @@ impl Default for Runner {
     }
 }
 
+/// Dispatch throughput in events per wall-clock second (`0` when the job
+/// finished below timer resolution).
+fn events_per_sec(events: u64, wall_ms: f64) -> f64 {
+    if wall_ms > 0.0 {
+        events as f64 / (wall_ms / 1e3)
+    } else {
+        0.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,6 +381,26 @@ mod tests {
     fn effective_workers_resolves_zero() {
         assert!(Runner::new(0).effective_workers() >= 1);
         assert_eq!(Runner::new(3).effective_workers(), 3);
+    }
+
+    #[test]
+    fn events_per_sec_guards_zero_wall_time() {
+        assert_eq!(events_per_sec(1000, 0.0), 0.0);
+        assert!((events_per_sec(1000, 500.0) - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_spec_names_files_by_job_coordinates() {
+        let spec = TraceSpec::new("/tmp/traces");
+        assert_eq!(
+            spec.job_path(60.0, 2, Scheme::Greedy),
+            PathBuf::from("/tmp/traces/point60_field2_greedy.jsonl")
+        );
+        // Fractional sweep points keep their dot; integral ones drop it.
+        assert_eq!(
+            spec.job_path(62.5, 0, Scheme::Opportunistic),
+            PathBuf::from("/tmp/traces/point62.5_field0_opportunistic.jsonl")
+        );
     }
 
     #[test]

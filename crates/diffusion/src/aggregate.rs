@@ -85,6 +85,15 @@ impl AggregationBuffer {
         self.pending.len()
     }
 
+    /// Number of incoming aggregates buffered in the current cycle (the
+    /// inputs a flush would merge). Read this *before* [`flush`] — flushing
+    /// clears the cycle.
+    ///
+    /// [`flush`]: AggregationBuffer::flush
+    pub fn cycle_len(&self) -> usize {
+        self.cycle.len()
+    }
+
     /// Flushes the buffer: returns the outgoing aggregate (items plus
     /// set-cover cost), or `None` when nothing is pending. Clears the cycle
     /// either way.

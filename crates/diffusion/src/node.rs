@@ -386,9 +386,19 @@ impl DiffusionNode {
         if let Some(h) = self.flush_timer.take() {
             ctx.cancel_timer(h);
         }
+        let inputs = self.buffer.cycle_len();
         let Some(out) = self.buffer.flush() else {
             return;
         };
+        if ctx.trace_enabled() {
+            ctx.trace(wsn_trace::TraceRecord::AggMerge {
+                t_ns: ctx.now().as_nanos(),
+                node: self.me.0,
+                inputs: inputs as u32,
+                items: out.items.len() as u32,
+                cost: out.cost,
+            });
+        }
         let now = ctx.now();
         let downstream = self.gradients.data_neighbors(now);
         if downstream.is_empty() {
@@ -577,8 +587,27 @@ impl DiffusionNode {
         kind: ReinforceKind,
     ) {
         let now = ctx.now();
+        // A reinforcement from a neighbor without a live data gradient grows
+        // the aggregation tree by one edge (us → them, toward the sink).
+        let new_edge = !self.gradients.has_data(from, now);
         self.gradients
             .reinforce(from, now + self.cfg.data_gradient_timeout);
+        if ctx.trace_enabled() {
+            let t_ns = now.as_nanos();
+            ctx.trace(wsn_trace::TraceRecord::GradientReinforce {
+                t_ns,
+                node: self.me.0,
+                from: from.0,
+                kind: kind.name(),
+            });
+            if new_edge {
+                ctx.trace(wsn_trace::TraceRecord::TreeEdge {
+                    t_ns,
+                    node: self.me.0,
+                    parent: from.0,
+                });
+            }
+        }
         if id.source == self.me {
             return; // the tree reached the source
         }
@@ -891,6 +920,12 @@ impl Protocol for DiffusionNode {
         if matches!(msg, DiffMsg::Data { .. }) {
             self.gradients.degrade(to);
         }
+    }
+
+    fn cache_size(&self) -> usize {
+        // The exploratory cache dominates diffusion's per-node memory and is
+        // the interesting size to watch in snapshots.
+        self.expl.len()
     }
 }
 

@@ -21,6 +21,19 @@ pub enum RadioState {
     Transmitting,
 }
 
+impl RadioState {
+    /// The state's short name as it appears in trace records — matches
+    /// `wsn_trace::ENERGY_STATES` ("off", "idle", "rx", "tx").
+    pub fn name(self) -> &'static str {
+        match self {
+            RadioState::Off => "off",
+            RadioState::Idle => "idle",
+            RadioState::Receiving => "rx",
+            RadioState::Transmitting => "tx",
+        }
+    }
+}
+
 /// Power draw of each radio state, in watts.
 ///
 /// # Examples
@@ -122,12 +135,19 @@ impl EnergyMeter {
     /// Transitions to `state` at time `now`, accumulating energy for the
     /// interval spent in the previous state.
     ///
+    /// Returns the closed interval as `(previous state, joules dissipated in
+    /// it)` so instrumentation can mirror the meter debit-by-debit: summing
+    /// the returned joules grouped per state reproduces the meter's internal
+    /// buckets bit-for-bit.
+    ///
     /// # Panics
     ///
     /// Panics if `now` precedes the previous transition (time runs forward).
-    pub fn set_state(&mut self, state: RadioState, now: SimTime) {
-        self.accumulate(now);
+    pub fn set_state(&mut self, state: RadioState, now: SimTime) -> (RadioState, f64) {
+        let prev = self.state;
+        let joules = self.accumulate(now);
         self.state = state;
+        (prev, joules)
     }
 
     /// Total energy dissipated up to `now`, in joules, including the
@@ -154,10 +174,12 @@ impl EnergyMeter {
             + self.dissipated_in_state_at(RadioState::Receiving, now)
     }
 
-    fn accumulate(&mut self, now: SimTime) {
+    fn accumulate(&mut self, now: SimTime) -> f64 {
         let dt = now.duration_since(self.since).as_secs_f64();
-        self.joules[state_index(self.state)] += dt * self.model.power(self.state);
+        let joules = dt * self.model.power(self.state);
+        self.joules[state_index(self.state)] += joules;
         self.since = now;
+        joules
     }
 }
 
@@ -239,6 +261,32 @@ mod tests {
         // Activity = rx + tx only.
         let expected_activity = 3.0 * 0.395 + 1.0 * 0.660;
         assert!((meter.activity_at(now) - expected_activity).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_state_reports_the_closed_interval() {
+        let mut meter = EnergyMeter::new(EnergyModel::PAPER, t(0));
+        let (prev, j) = meter.set_state(RadioState::Transmitting, t(10));
+        assert_eq!(prev, RadioState::Idle);
+        assert!((j - 0.35).abs() < 1e-12);
+        let (prev, j) = meter.set_state(RadioState::Idle, t(11));
+        assert_eq!(prev, RadioState::Transmitting);
+        assert!((j - 0.660).abs() < 1e-12);
+        // Mirroring the returned debits reproduces the meter totals.
+        assert!((meter.dissipated_at(t(11)) - (0.35 + 0.660)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn state_names_match_trace_schema() {
+        assert_eq!(
+            [
+                RadioState::Off.name(),
+                RadioState::Idle.name(),
+                RadioState::Receiving.name(),
+                RadioState::Transmitting.name(),
+            ],
+            wsn_trace::ENERGY_STATES
+        );
     }
 
     #[test]

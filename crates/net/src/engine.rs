@@ -23,6 +23,7 @@ use std::collections::{HashSet, VecDeque};
 use std::rc::Rc;
 
 use wsn_sim::{EventId, RunAccounting, SimDuration, SimRng, SimTime, Simulator};
+use wsn_trace::{SharedSink, TraceRecord};
 
 use crate::config::NetConfig;
 use crate::energy::{EnergyMeter, RadioState};
@@ -30,6 +31,7 @@ use crate::node::NodeId;
 use crate::packet::{Packet, TxId};
 use crate::protocol::{Ctx, Protocol, TimerHandle};
 use crate::topology::Topology;
+use crate::trace::TraceOptions;
 
 /// RNG stream labels (see [`SimRng::from_seed_stream`]).
 const STREAM_MAC: u64 = 0x004D_4143;
@@ -60,6 +62,9 @@ enum Ev<T> {
     NodeDown { node: NodeId },
     /// Scheduled node recovery.
     NodeUp { node: NodeId },
+    /// Periodic per-node telemetry snapshot (only scheduled while a trace
+    /// sink with a snapshot cadence is installed).
+    Snapshot,
 }
 
 /// What a transmission carries.
@@ -87,6 +92,36 @@ impl<M> Clone for Frame<M> {
             Frame::Rts { to } => Frame::Rts { to: *to },
             Frame::Cts { to } => Frame::Cts { to: *to },
         }
+    }
+}
+
+impl<M> Frame<M> {
+    /// The frame kind tag used in trace records.
+    fn kind(&self) -> &'static str {
+        match self {
+            Frame::Payload(_) => "data",
+            Frame::Ack { .. } => "ack",
+            Frame::Rts { .. } => "rts",
+            Frame::Cts { .. } => "cts",
+        }
+    }
+
+    /// The logical destination reported in trace records (`None` for
+    /// broadcast payloads).
+    fn trace_dst(&self) -> Option<u32> {
+        match self {
+            Frame::Payload(p) => p.dst.map(|d| d.0),
+            Frame::Ack { to, .. } | Frame::Rts { to } | Frame::Cts { to } => Some(to.0),
+        }
+    }
+}
+
+/// Emits through a pre-cloned sink handle. Emission sites that hold a
+/// `&mut self.nodes[i]` split borrow clone the `Option<Rc>` handle up front
+/// and emit through this instead of `EngineCore::emit`.
+fn emit_to(trace: &Option<SharedSink>, rec: TraceRecord) {
+    if let Some(t) = trace {
+        t.borrow_mut().record(&rec);
     }
 }
 
@@ -250,7 +285,6 @@ struct NodeCore<M> {
 /// Splitting the protocols (`Vec<P>`) from this core is what lets a protocol
 /// callback receive `&mut EngineCore` (via [`Ctx`]) while the engine holds
 /// `&mut P` — a plain split borrow, no `RefCell`.
-#[derive(Debug)]
 pub struct EngineCore<M, T> {
     sim: Simulator<Ev<T>>,
     topo: Topology,
@@ -259,6 +293,29 @@ pub struct EngineCore<M, T> {
     proto_rngs: Vec<SimRng>,
     stats: NetStats,
     next_tx: u64,
+    /// The seed the run was built from (reported in the trace header).
+    seed: u64,
+    /// The installed trace sink, if any. `None` keeps every emission site
+    /// down to a single branch.
+    trace: Option<SharedSink>,
+    trace_opts: TraceOptions,
+}
+
+impl<M: std::fmt::Debug, T: std::fmt::Debug> std::fmt::Debug for EngineCore<M, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Manual impl: the sink handle is a trait object with no Debug.
+        f.debug_struct("EngineCore")
+            .field("sim", &self.sim)
+            .field("topo", &self.topo)
+            .field("cfg", &self.cfg)
+            .field("nodes", &self.nodes)
+            .field("stats", &self.stats)
+            .field("next_tx", &self.next_tx)
+            .field("seed", &self.seed)
+            .field("trace", &self.trace.is_some())
+            .field("trace_opts", &self.trace_opts)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> EngineCore<M, T> {
@@ -294,11 +351,27 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> EngineCore<M, T> {
                 collisions: 0,
             },
             next_tx: 0,
+            seed,
+            trace: None,
+            trace_opts: TraceOptions::default(),
         }
     }
 
     pub(crate) fn now(&self) -> SimTime {
         self.sim.now()
+    }
+
+    /// Whether a trace sink is installed (callers gate expensive record
+    /// assembly on this).
+    pub(crate) fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Emits one trace record if a sink is installed.
+    pub(crate) fn emit(&self, rec: TraceRecord) {
+        if let Some(t) = &self.trace {
+            t.borrow_mut().record(&rec);
+        }
     }
 
     /// Run accounting so far: events dispatched, clock, backlog.
@@ -325,6 +398,11 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> EngineCore<M, T> {
         let i = node.index();
         if !self.nodes[i].up {
             self.stats.per_node[i].dropped_down += 1;
+            self.emit(TraceRecord::PacketDrop {
+                t_ns: self.sim.now().as_nanos(),
+                node: node.0,
+                reason: "node_down",
+            });
             return;
         }
         self.nodes[i]
@@ -475,6 +553,11 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> EngineCore<M, T> {
             self.nodes[i].queue.push_front(queued);
         } else {
             self.stats.per_node[i].tx_failed += 1;
+            self.emit(TraceRecord::PacketDrop {
+                t_ns: self.sim.now().as_nanos(),
+                node: i as u32,
+                reason: "retry_limit",
+            });
             failed = Some(queued.packet);
         }
         self.mac_try_start(i);
@@ -485,8 +568,20 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> EngineCore<M, T> {
     /// reception state at every hearer and schedules the `TxEnd`.
     fn start_frame(&mut self, i: usize, frame: Frame<M>, bytes: u32) -> TxId {
         let now = self.sim.now();
+        let t_ns = now.as_nanos();
         let tx = TxId(self.next_tx);
         self.next_tx += 1;
+        let trace = self.trace.clone();
+        emit_to(
+            &trace,
+            TraceRecord::PacketTx {
+                t_ns,
+                node: i as u32,
+                kind: frame.kind(),
+                bytes,
+                dst: frame.trace_dst(),
+            },
+        );
         let node = &mut self.nodes[i];
         debug_assert!(node.transmitting.is_none(), "radio already busy");
         node.transmitting = Some(tx);
@@ -496,6 +591,13 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> EngineCore<M, T> {
             if !rx.corrupted {
                 rx.corrupted = true;
                 self.stats.collisions += 1;
+                emit_to(
+                    &trace,
+                    TraceRecord::Collision {
+                        t_ns,
+                        node: i as u32,
+                    },
+                );
             }
         }
         self.update_meter(i, now);
@@ -514,9 +616,11 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> EngineCore<M, T> {
                         if !rx.corrupted {
                             rx.corrupted = true;
                             self.stats.collisions += 1;
+                            emit_to(&trace, TraceRecord::Collision { t_ns, node: v.0 });
                         }
                     }
                     self.stats.collisions += 1;
+                    emit_to(&trace, TraceRecord::Collision { t_ns, node: v.0 });
                 }
                 vn.active_rx.push(RxEntry {
                     tx,
@@ -536,6 +640,8 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> EngineCore<M, T> {
     /// protocol dispatch by the caller.
     fn on_tx_end(&mut self, i: usize, tx: TxId) -> Vec<(NodeId, Rc<Packet<M>>)> {
         let now = self.sim.now();
+        let t_ns = now.as_nanos();
+        let trace = self.trace.clone();
         debug_assert_eq!(self.nodes[i].transmitting, Some(tx), "TxEnd out of order");
         self.nodes[i].transmitting = None;
         let frame = self.nodes[i].in_flight.take().expect("frame in flight");
@@ -555,11 +661,28 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> EngineCore<M, T> {
                 let entry = vn.active_rx.swap_remove(pos);
                 if entry.corrupted {
                     self.stats.per_node[vi].rx_corrupted += 1;
+                    emit_to(
+                        &trace,
+                        TraceRecord::PacketDrop {
+                            t_ns,
+                            node: v.0,
+                            reason: "collision",
+                        },
+                    );
                 } else if vn.up {
                     match &entry.frame {
                         Frame::Payload(pkt) => {
                             self.stats.per_node[vi].rx_ok += 1;
                             if pkt.dst == Some(v) {
+                                emit_to(
+                                    &trace,
+                                    TraceRecord::PacketRx {
+                                        t_ns,
+                                        node: v.0,
+                                        from: sender.0,
+                                        bytes: pkt.bytes,
+                                    },
+                                );
                                 // Addressed unicast: deliver and owe an ACK.
                                 deliveries.push((v, Rc::clone(pkt)));
                                 self.sim.schedule_after(
@@ -571,6 +694,15 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> EngineCore<M, T> {
                                     },
                                 );
                             } else if pkt.dst.is_none() {
+                                emit_to(
+                                    &trace,
+                                    TraceRecord::PacketRx {
+                                        t_ns,
+                                        node: v.0,
+                                        from: sender.0,
+                                        bytes: pkt.bytes,
+                                    },
+                                );
                                 deliveries.push((v, Rc::clone(pkt)));
                             }
                         }
@@ -678,6 +810,7 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> EngineCore<M, T> {
         // bookkeeping still releases at the scheduled TxEnd — a slight
         // overestimate of busy time, never of delivery.)
         if let Some(tx) = self.nodes[i].transmitting {
+            let trace = self.trace.clone();
             let me = NodeId::from_index(i);
             let neighbors: Vec<NodeId> = self.topo.neighbors(me).to_vec();
             for v in neighbors {
@@ -685,6 +818,13 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> EngineCore<M, T> {
                     if rx.tx == tx && !rx.corrupted {
                         rx.corrupted = true;
                         self.stats.collisions += 1;
+                        emit_to(
+                            &trace,
+                            TraceRecord::Collision {
+                                t_ns: now.as_nanos(),
+                                node: v.0,
+                            },
+                        );
                     }
                 }
             }
@@ -717,7 +857,8 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> EngineCore<M, T> {
         true
     }
 
-    /// Recomputes the radio state after any bookkeeping change.
+    /// Recomputes the radio state after any bookkeeping change, debiting the
+    /// closed interval to the trace if one is installed.
     fn update_meter(&mut self, i: usize, now: SimTime) {
         let node = &mut self.nodes[i];
         let state = if !node.up {
@@ -729,7 +870,17 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> EngineCore<M, T> {
         } else {
             RadioState::Idle
         };
-        node.meter.set_state(state, now);
+        let (prev, joules) = node.meter.set_state(state, now);
+        // Zero-length and zero-power intervals produce no record, so the
+        // trace stream stays proportional to real state *changes*.
+        if joules > 0.0 {
+            self.emit(TraceRecord::EnergyDebit {
+                t_ns: now.as_nanos(),
+                node: i as u32,
+                state: prev.name(),
+                joules,
+            });
+        }
     }
 
     /// Removes a fired timer from the node's live set; `false` means the
@@ -960,6 +1111,86 @@ impl<P: Protocol> Network<P> {
         }
     }
 
+    /// Installs a trace sink: emits the `run_start` header, optionally taps
+    /// every kernel dispatch, and arms the periodic per-node snapshot if a
+    /// cadence is configured.
+    ///
+    /// Call before the first [`run_until`](Network::run_until) so the trace
+    /// covers the whole run. With [`TraceOptions::snapshot_every`] set, the
+    /// snapshot events count toward [`Network::events_processed`] (and thus
+    /// the event budget) but cannot perturb the simulation outcome — they
+    /// read state and re-arm themselves, nothing else.
+    pub fn set_trace(&mut self, sink: SharedSink, opts: TraceOptions) {
+        self.core.trace = Some(sink);
+        self.core.trace_opts = opts;
+        self.core.emit(TraceRecord::RunStart {
+            seed: self.core.seed,
+            nodes: self.core.nodes.len() as u32,
+        });
+        if opts.dispatch {
+            let tap = self.core.trace.clone().expect("sink just installed");
+            self.core.sim.set_dispatch_hook(move |seq, now| {
+                tap.borrow_mut().record(&TraceRecord::Dispatch {
+                    t_ns: now.as_nanos(),
+                    seq,
+                });
+            });
+        }
+        if let Some(every) = opts.snapshot_every {
+            self.core.sim.schedule_after(every, Ev::Snapshot);
+        }
+    }
+
+    /// Closes out an installed trace: debits every node's partial energy
+    /// interval (so the per-node debit sums equal the meter totals exactly),
+    /// takes a final snapshot of every node, writes the `run_end` record,
+    /// flushes the sink, and uninstalls it. A no-op without a sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sink's flush error (e.g. a full disk under a
+    /// [`wsn_trace::JsonlSink`]).
+    pub fn finish_trace(&mut self) -> std::io::Result<()> {
+        let Some(sink) = self.core.trace.clone() else {
+            return Ok(());
+        };
+        let now = self.core.sim.now();
+        for i in 0..self.core.nodes.len() {
+            // A redundant transition closes the partially elapsed interval.
+            self.core.update_meter(i, now);
+        }
+        self.snapshot_all(now);
+        self.core.emit(TraceRecord::RunEnd {
+            t_ns: now.as_nanos(),
+            events: self.core.sim.events_processed(),
+            total_energy_j: self.total_energy(),
+        });
+        self.core.sim.clear_dispatch_hook();
+        self.core.trace = None;
+        let flushed = sink.borrow_mut().flush();
+        flushed
+    }
+
+    /// Emits one snapshot record per node (energy, MAC queue depth, protocol
+    /// cache size).
+    fn snapshot_all(&mut self, now: SimTime) {
+        if !self.core.trace_enabled() {
+            return;
+        }
+        let t_ns = now.as_nanos();
+        for i in 0..self.protocols.len() {
+            let cache = self.protocols[i].cache_size() as u32;
+            let node = &self.core.nodes[i];
+            self.core.emit(TraceRecord::Snapshot {
+                t_ns,
+                node: i as u32,
+                energy_j: node.meter.dissipated_at(now),
+                queue: node.queue.len() as u32,
+                cache,
+            });
+        }
+    }
+
     /// Events dispatched by the underlying simulator so far.
     pub fn events_processed(&self) -> u64 {
         self.core.sim.events_processed()
@@ -1030,6 +1261,18 @@ impl<P: Protocol> Network<P> {
                         node,
                     };
                     self.protocols[node.index()].on_up(&mut ctx);
+                }
+            }
+            Ev::Snapshot => {
+                let now = self.core.sim.now();
+                self.snapshot_all(now);
+                // Re-arm only while a sink is still installed; finish_trace
+                // lets any residual Snapshot event drain as a no-op.
+                match self.core.trace_opts.snapshot_every {
+                    Some(every) if self.core.trace_enabled() => {
+                        self.core.sim.schedule_after(every, Ev::Snapshot);
+                    }
+                    _ => {}
                 }
             }
         }

@@ -40,6 +40,7 @@ mod packet;
 mod position;
 mod protocol;
 mod topology;
+mod trace;
 
 pub use config::NetConfig;
 pub use energy::{EnergyMeter, EnergyModel, RadioState};
@@ -49,3 +50,4 @@ pub use packet::{Packet, TxId};
 pub use position::{Position, Rect};
 pub use protocol::{Ctx, Protocol, TimerHandle};
 pub use topology::Topology;
+pub use trace::TraceOptions;

@@ -67,6 +67,13 @@ pub trait Protocol: Sized {
     ) {
         let _ = (ctx, to, msg);
     }
+
+    /// Number of entries in this protocol's principal cache (whatever that
+    /// means for the protocol — directed diffusion reports its exploratory
+    /// cache), read by the engine's periodic telemetry snapshots. Default: 0.
+    fn cache_size(&self) -> usize {
+        0
+    }
 }
 
 /// The protocol's window into the engine during a callback.
@@ -129,5 +136,16 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> Ctx<'_, M, T> {
         }
         let ns = self.core.protocol_rng(self.node).below(max.as_nanos());
         SimDuration::from_nanos(ns)
+    }
+
+    /// Whether a trace sink is installed on this run. Protocols emitting
+    /// records with non-trivial assembly cost should gate on this.
+    pub fn trace_enabled(&self) -> bool {
+        self.core.trace_enabled()
+    }
+
+    /// Emits one protocol-level trace record (a no-op without a sink).
+    pub fn trace(&mut self, rec: wsn_trace::TraceRecord) {
+        self.core.emit(rec);
     }
 }

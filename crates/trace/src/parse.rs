@@ -1,0 +1,143 @@
+//! A dependency-free parser for the flat NDJSON lines this crate writes.
+//!
+//! This is deliberately *not* a general JSON parser: trace records are flat
+//! objects whose values are unescaped strings or plain numbers (see
+//! [`crate::record`]), so a single left-to-right scan suffices. Lines that
+//! do not fit that shape parse to `None` and reductions skip them, which
+//! keeps `trace_report` robust against foreign lines mixed into a file.
+
+use std::collections::HashMap;
+
+/// One parsed flat-JSON line: a map from field name to raw value text.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ParsedLine {
+    fields: HashMap<String, String>,
+}
+
+impl ParsedLine {
+    /// The record tag (`ev` field), if present.
+    pub fn tag(&self) -> Option<&str> {
+        self.str_field("ev")
+    }
+
+    /// A string-valued field.
+    pub fn str_field(&self, key: &str) -> Option<&str> {
+        self.fields.get(key).map(String::as_str)
+    }
+
+    /// A field parsed as `u64`.
+    pub fn u64_field(&self, key: &str) -> Option<u64> {
+        self.fields.get(key)?.parse().ok()
+    }
+
+    /// A field parsed as `u32`.
+    pub fn u32_field(&self, key: &str) -> Option<u32> {
+        self.fields.get(key)?.parse().ok()
+    }
+
+    /// A field parsed as `f64`.
+    pub fn f64_field(&self, key: &str) -> Option<f64> {
+        self.fields.get(key)?.parse().ok()
+    }
+}
+
+/// Parses one flat NDJSON object line. Returns `None` when the line is not
+/// a flat object of string/number fields.
+pub fn parse_line(line: &str) -> Option<ParsedLine> {
+    let body = line.trim().strip_prefix('{')?.strip_suffix('}')?;
+    let mut fields = HashMap::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        // Key: a quoted name followed by ':'.
+        rest = rest.strip_prefix('"')?;
+        let key_end = rest.find('"')?;
+        let key = &rest[..key_end];
+        rest = rest[key_end + 1..].strip_prefix(':')?;
+        // Value: a quoted string (no escapes in our records) or a bare token
+        // running to the next comma.
+        let value;
+        if let Some(after_quote) = rest.strip_prefix('"') {
+            let val_end = after_quote.find('"')?;
+            value = &after_quote[..val_end];
+            rest = &after_quote[val_end + 1..];
+        } else {
+            let val_end = rest.find(',').unwrap_or(rest.len());
+            value = &rest[..val_end];
+            if value.is_empty() || value.contains(['{', '[', '"']) {
+                return None; // nested or malformed value
+            }
+            rest = &rest[val_end..];
+        }
+        fields.insert(key.to_string(), value.to_string());
+        if let Some(after_comma) = rest.strip_prefix(',') {
+            rest = after_comma;
+        } else if !rest.is_empty() {
+            return None; // garbage between fields
+        }
+    }
+    Some(ParsedLine { fields })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TraceRecord;
+
+    #[test]
+    fn roundtrips_every_record_shape() {
+        let recs = [
+            TraceRecord::RunStart { seed: 42, nodes: 9 },
+            TraceRecord::PacketTx {
+                t_ns: 5,
+                node: 1,
+                kind: "ack",
+                bytes: 14,
+                dst: Some(3),
+            },
+            TraceRecord::EnergyDebit {
+                t_ns: 6,
+                node: 2,
+                state: "rx",
+                joules: 0.125,
+            },
+            TraceRecord::RunEnd {
+                t_ns: 7,
+                events: 1000,
+                total_energy_j: 12.5,
+            },
+        ];
+        for r in &recs {
+            let line = r.to_json();
+            let p = parse_line(&line).unwrap_or_else(|| panic!("unparsable: {line}"));
+            assert_eq!(p.tag(), Some(r.tag()), "{line}");
+        }
+    }
+
+    #[test]
+    fn extracts_typed_fields() {
+        let p = parse_line(
+            "{\"ev\":\"energy\",\"t_ns\":10,\"node\":3,\"state\":\"tx\",\"joules\":0.5}",
+        )
+        .unwrap();
+        assert_eq!(p.tag(), Some("energy"));
+        assert_eq!(p.u64_field("t_ns"), Some(10));
+        assert_eq!(p.u32_field("node"), Some(3));
+        assert_eq!(p.str_field("state"), Some("tx"));
+        assert_eq!(p.f64_field("joules"), Some(0.5));
+        assert_eq!(p.f64_field("missing"), None);
+    }
+
+    #[test]
+    fn rejects_non_flat_lines() {
+        assert_eq!(parse_line("not json"), None);
+        assert_eq!(parse_line("{\"a\":{\"b\":1}}"), None);
+        assert_eq!(parse_line("{\"a\":[1,2]}"), None);
+        assert_eq!(parse_line("{\"a\":1 \"b\":2}"), None);
+    }
+
+    #[test]
+    fn empty_object_parses_empty() {
+        let p = parse_line("{}").unwrap();
+        assert_eq!(p.tag(), None);
+    }
+}

@@ -1,0 +1,384 @@
+//! The trace record vocabulary and its NDJSON encoding.
+//!
+//! One [`TraceRecord`] is one line of a run's `.jsonl` artifact. Records are
+//! *flat* JSON objects (no nesting) so the dependency-free line parser in
+//! [`crate::parse`] stays trivial, and every numeric field is written with
+//! Rust's shortest-round-trip `Display` formatting, which is deterministic —
+//! the same run produces byte-identical lines.
+
+use std::io::{self, Write};
+
+/// Version stamp of the record schema, written on the `run_start` line.
+///
+/// Bump this whenever a record variant or field changes meaning; readers can
+/// then refuse (or adapt to) traces from other schema generations.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Radio-state labels used by [`TraceRecord::EnergyDebit`], in the order the
+/// energy meter sums its per-state buckets (off, idle, rx, tx). Reductions
+/// that re-sum debits in this same per-state order reproduce the meter's
+/// floating-point total bit-for-bit.
+pub const ENERGY_STATES: [&str; 4] = ["off", "idle", "rx", "tx"];
+
+/// One telemetry event of a simulation run.
+///
+/// Node identities are plain `u32` indices and times are simulated
+/// nanoseconds, so this crate depends on nothing else in the workspace and
+/// every layer (sim, net, diffusion, runner) can construct records directly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceRecord {
+    /// First line of every trace: schema version, scenario seed, node count.
+    RunStart {
+        /// The scenario seed the run is a pure function of.
+        seed: u64,
+        /// Number of nodes in the field.
+        nodes: u32,
+    },
+    /// A simulator event was dispatched (sampled only when the trace options
+    /// ask for dispatch records — one per event is the highest-volume signal).
+    Dispatch {
+        /// Simulated time, nanoseconds.
+        t_ns: u64,
+        /// Running dispatch count (1-based, matches `events_processed`).
+        seq: u64,
+    },
+    /// A frame was put on the air.
+    PacketTx {
+        /// Simulated time, nanoseconds.
+        t_ns: u64,
+        /// The transmitting node.
+        node: u32,
+        /// Frame kind: `"data"`, `"ack"`, `"rts"`, or `"cts"`.
+        kind: &'static str,
+        /// Frame size in bytes.
+        bytes: u32,
+        /// Logical destination (`None` = broadcast).
+        dst: Option<u32>,
+    },
+    /// A payload frame was successfully decoded at a hearer.
+    PacketRx {
+        /// Simulated time, nanoseconds.
+        t_ns: u64,
+        /// The receiving node.
+        node: u32,
+        /// The transmitting neighbor.
+        from: u32,
+        /// Frame size in bytes.
+        bytes: u32,
+    },
+    /// A frame was lost: `"collision"` (reception corrupted),
+    /// `"retry_limit"` (unicast abandoned by ARQ), or `"node_down"`
+    /// (queued at a failed node).
+    PacketDrop {
+        /// Simulated time, nanoseconds.
+        t_ns: u64,
+        /// The node that lost the frame.
+        node: u32,
+        /// Why the frame was lost.
+        reason: &'static str,
+    },
+    /// A reception was corrupted by an overlapping transmission at `node`.
+    Collision {
+        /// Simulated time, nanoseconds.
+        t_ns: u64,
+        /// The hearer whose reception was corrupted.
+        node: u32,
+    },
+    /// A closed radio-state interval's energy, debited when the state
+    /// changes. The per-node sum over all debits (grouped per state, states
+    /// added in [`ENERGY_STATES`] order) equals the node's total dissipated
+    /// energy once the run closes its final intervals.
+    EnergyDebit {
+        /// Simulated time the interval closed, nanoseconds.
+        t_ns: u64,
+        /// The node being debited.
+        node: u32,
+        /// The radio state of the closed interval (see [`ENERGY_STATES`]).
+        state: &'static str,
+        /// Joules dissipated over the interval.
+        joules: f64,
+    },
+    /// A gradient toward `from` was positively reinforced at `node`.
+    GradientReinforce {
+        /// Simulated time, nanoseconds.
+        t_ns: u64,
+        /// The node whose gradient table changed.
+        node: u32,
+        /// The downstream neighbor that sent the reinforcement.
+        from: u32,
+        /// Reinforcement kind: `"establish"`, `"refresh"`, or `"repair"`.
+        kind: &'static str,
+    },
+    /// A new data gradient (aggregation-tree edge `node → parent`) appeared.
+    TreeEdge {
+        /// Simulated time, nanoseconds.
+        t_ns: u64,
+        /// The upstream end of the new edge.
+        node: u32,
+        /// The downstream neighbor data will now flow toward.
+        parent: u32,
+    },
+    /// An aggregation flush merged buffered aggregates into one outgoing one.
+    AggMerge {
+        /// Simulated time, nanoseconds.
+        t_ns: u64,
+        /// The aggregation point.
+        node: u32,
+        /// Incoming aggregates buffered this cycle.
+        inputs: u32,
+        /// Distinct items forwarded.
+        items: u32,
+        /// The outgoing aggregate's set-cover energy cost.
+        cost: f64,
+    },
+    /// Periodic per-node state snapshot (configurable sim-time cadence).
+    Snapshot {
+        /// Simulated time, nanoseconds.
+        t_ns: u64,
+        /// The node being sampled.
+        node: u32,
+        /// Cumulative energy dissipated so far, joules.
+        energy_j: f64,
+        /// MAC queue depth (frames waiting for the channel).
+        queue: u32,
+        /// Protocol cache size (exploratory-cache entries).
+        cache: u32,
+    },
+    /// Last line of every trace: final accounting.
+    RunEnd {
+        /// Simulated time the run ended, nanoseconds.
+        t_ns: u64,
+        /// Simulator events dispatched.
+        events: u64,
+        /// Total energy dissipated by all nodes, joules.
+        total_energy_j: f64,
+    },
+}
+
+impl TraceRecord {
+    /// The record's `ev` tag as written on its JSON line.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TraceRecord::RunStart { .. } => "run_start",
+            TraceRecord::Dispatch { .. } => "dispatch",
+            TraceRecord::PacketTx { .. } => "tx",
+            TraceRecord::PacketRx { .. } => "rx",
+            TraceRecord::PacketDrop { .. } => "drop",
+            TraceRecord::Collision { .. } => "collision",
+            TraceRecord::EnergyDebit { .. } => "energy",
+            TraceRecord::GradientReinforce { .. } => "reinforce",
+            TraceRecord::TreeEdge { .. } => "tree_edge",
+            TraceRecord::AggMerge { .. } => "agg_merge",
+            TraceRecord::Snapshot { .. } => "snapshot",
+            TraceRecord::RunEnd { .. } => "run_end",
+        }
+    }
+
+    /// Writes the record as one NDJSON line (including the trailing `\n`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `out`.
+    pub fn write_jsonl(&self, out: &mut impl Write) -> io::Result<()> {
+        match self {
+            TraceRecord::RunStart { seed, nodes } => writeln!(
+                out,
+                "{{\"ev\":\"run_start\",\"v\":{SCHEMA_VERSION},\"seed\":{seed},\"nodes\":{nodes}}}"
+            ),
+            TraceRecord::Dispatch { t_ns, seq } => {
+                writeln!(out, "{{\"ev\":\"dispatch\",\"t_ns\":{t_ns},\"seq\":{seq}}}")
+            }
+            TraceRecord::PacketTx {
+                t_ns,
+                node,
+                kind,
+                bytes,
+                dst,
+            } => match dst {
+                Some(d) => writeln!(
+                    out,
+                    "{{\"ev\":\"tx\",\"t_ns\":{t_ns},\"node\":{node},\"kind\":\"{kind}\",\"bytes\":{bytes},\"dst\":{d}}}"
+                ),
+                None => writeln!(
+                    out,
+                    "{{\"ev\":\"tx\",\"t_ns\":{t_ns},\"node\":{node},\"kind\":\"{kind}\",\"bytes\":{bytes}}}"
+                ),
+            },
+            TraceRecord::PacketRx {
+                t_ns,
+                node,
+                from,
+                bytes,
+            } => writeln!(
+                out,
+                "{{\"ev\":\"rx\",\"t_ns\":{t_ns},\"node\":{node},\"from\":{from},\"bytes\":{bytes}}}"
+            ),
+            TraceRecord::PacketDrop { t_ns, node, reason } => writeln!(
+                out,
+                "{{\"ev\":\"drop\",\"t_ns\":{t_ns},\"node\":{node},\"reason\":\"{reason}\"}}"
+            ),
+            TraceRecord::Collision { t_ns, node } => writeln!(
+                out,
+                "{{\"ev\":\"collision\",\"t_ns\":{t_ns},\"node\":{node}}}"
+            ),
+            TraceRecord::EnergyDebit {
+                t_ns,
+                node,
+                state,
+                joules,
+            } => writeln!(
+                out,
+                "{{\"ev\":\"energy\",\"t_ns\":{t_ns},\"node\":{node},\"state\":\"{state}\",\"joules\":{joules}}}"
+            ),
+            TraceRecord::GradientReinforce {
+                t_ns,
+                node,
+                from,
+                kind,
+            } => writeln!(
+                out,
+                "{{\"ev\":\"reinforce\",\"t_ns\":{t_ns},\"node\":{node},\"from\":{from},\"kind\":\"{kind}\"}}"
+            ),
+            TraceRecord::TreeEdge { t_ns, node, parent } => writeln!(
+                out,
+                "{{\"ev\":\"tree_edge\",\"t_ns\":{t_ns},\"node\":{node},\"parent\":{parent}}}"
+            ),
+            TraceRecord::AggMerge {
+                t_ns,
+                node,
+                inputs,
+                items,
+                cost,
+            } => writeln!(
+                out,
+                "{{\"ev\":\"agg_merge\",\"t_ns\":{t_ns},\"node\":{node},\"inputs\":{inputs},\"items\":{items},\"cost\":{cost}}}"
+            ),
+            TraceRecord::Snapshot {
+                t_ns,
+                node,
+                energy_j,
+                queue,
+                cache,
+            } => writeln!(
+                out,
+                "{{\"ev\":\"snapshot\",\"t_ns\":{t_ns},\"node\":{node},\"energy_j\":{energy_j},\"queue\":{queue},\"cache\":{cache}}}"
+            ),
+            TraceRecord::RunEnd {
+                t_ns,
+                events,
+                total_energy_j,
+            } => writeln!(
+                out,
+                "{{\"ev\":\"run_end\",\"t_ns\":{t_ns},\"events\":{events},\"total_energy_j\":{total_energy_j}}}"
+            ),
+        }
+    }
+
+    /// The record rendered as its JSON line, without the trailing newline.
+    pub fn to_json(&self) -> String {
+        let mut buf = Vec::new();
+        self.write_jsonl(&mut buf)
+            .expect("writing to a Vec cannot fail");
+        buf.pop(); // trailing '\n'
+        String::from_utf8(buf).expect("records are ASCII")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_are_flat_json_objects() {
+        let recs = [
+            TraceRecord::RunStart { seed: 7, nodes: 3 },
+            TraceRecord::Dispatch { t_ns: 10, seq: 1 },
+            TraceRecord::PacketTx {
+                t_ns: 10,
+                node: 0,
+                kind: "data",
+                bytes: 64,
+                dst: Some(2),
+            },
+            TraceRecord::PacketTx {
+                t_ns: 11,
+                node: 0,
+                kind: "data",
+                bytes: 64,
+                dst: None,
+            },
+            TraceRecord::PacketRx {
+                t_ns: 12,
+                node: 2,
+                from: 0,
+                bytes: 64,
+            },
+            TraceRecord::PacketDrop {
+                t_ns: 13,
+                node: 2,
+                reason: "collision",
+            },
+            TraceRecord::Collision { t_ns: 13, node: 2 },
+            TraceRecord::EnergyDebit {
+                t_ns: 14,
+                node: 1,
+                state: "tx",
+                joules: 0.5,
+            },
+            TraceRecord::GradientReinforce {
+                t_ns: 15,
+                node: 1,
+                from: 2,
+                kind: "establish",
+            },
+            TraceRecord::TreeEdge {
+                t_ns: 15,
+                node: 1,
+                parent: 2,
+            },
+            TraceRecord::AggMerge {
+                t_ns: 16,
+                node: 1,
+                inputs: 3,
+                items: 4,
+                cost: 12.0,
+            },
+            TraceRecord::Snapshot {
+                t_ns: 17,
+                node: 1,
+                energy_j: 1.25,
+                queue: 2,
+                cache: 9,
+            },
+            TraceRecord::RunEnd {
+                t_ns: 18,
+                events: 99,
+                total_energy_j: 3.5,
+            },
+        ];
+        for r in &recs {
+            let line = r.to_json();
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains(&format!("\"ev\":\"{}\"", r.tag())), "{line}");
+            assert!(!line.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn schema_version_is_stamped_on_run_start() {
+        let line = TraceRecord::RunStart { seed: 1, nodes: 2 }.to_json();
+        assert!(line.contains("\"v\":1"), "{line}");
+    }
+
+    #[test]
+    fn float_formatting_is_shortest_roundtrip() {
+        let line = TraceRecord::EnergyDebit {
+            t_ns: 0,
+            node: 0,
+            state: "idle",
+            joules: 0.1,
+        }
+        .to_json();
+        assert!(line.contains("\"joules\":0.1"), "{line}");
+    }
+}

@@ -1,0 +1,416 @@
+//! Reducing a trace into per-node summaries and figure-style tables.
+//!
+//! [`TraceSummary`] accumulates one `.jsonl` trace (or any record stream)
+//! into per-node counters; [`TraceSummary::render`] prints the per-node
+//! energy histogram, the top-N hottest nodes, and a totals table — the
+//! artifact later perf/robustness PRs cite to prove their effect.
+
+use crate::parse::parse_line;
+use crate::record::{TraceRecord, ENERGY_STATES};
+
+/// Per-node counters reduced from one trace.
+#[derive(Debug, Clone, Default)]
+pub struct NodeTally {
+    /// Energy debits grouped per radio state, in [`ENERGY_STATES`] order.
+    /// Kept grouped so the total reproduces the energy meter's bucketed
+    /// floating-point summation exactly.
+    pub energy_by_state: [f64; 4],
+    /// Frames transmitted.
+    pub tx: u64,
+    /// Payload frames received.
+    pub rx: u64,
+    /// Frames lost (any reason).
+    pub drops: u64,
+    /// Receptions corrupted at this node.
+    pub collisions: u64,
+    /// Last snapshot's cumulative energy, if any snapshot was taken.
+    pub last_snapshot_energy_j: Option<f64>,
+}
+
+impl NodeTally {
+    /// Total energy across states, summed in the meter's state order.
+    pub fn energy_j(&self) -> f64 {
+        self.energy_by_state.iter().sum()
+    }
+}
+
+/// The reduction of one trace stream.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    /// Per-node tallies, indexed by node id.
+    pub nodes: Vec<NodeTally>,
+    /// Records consumed (parsable lines only).
+    pub records: u64,
+    /// Lines that did not parse as trace records.
+    pub skipped_lines: u64,
+    /// Dispatch records seen.
+    pub dispatches: u64,
+    /// Gradient reinforcements seen.
+    pub reinforcements: u64,
+    /// Tree edges added.
+    pub tree_edges: u64,
+    /// Aggregation merges seen.
+    pub merges: u64,
+    /// Snapshot records seen.
+    pub snapshots: u64,
+    /// The `run_start` seed, if the trace carried one.
+    pub seed: Option<u64>,
+    /// The `run_start` schema version, if present.
+    pub schema_version: Option<u64>,
+    /// The `run_end` totals, if the trace carried them.
+    pub run_end: Option<(u64, f64)>,
+}
+
+impl TraceSummary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        TraceSummary::default()
+    }
+
+    fn node_mut(&mut self, node: u32) -> &mut NodeTally {
+        let i = node as usize;
+        if self.nodes.len() <= i {
+            self.nodes.resize_with(i + 1, NodeTally::default);
+        }
+        &mut self.nodes[i]
+    }
+
+    /// Folds one in-memory record into the summary.
+    pub fn add_record(&mut self, rec: &TraceRecord) {
+        self.records += 1;
+        match rec {
+            TraceRecord::RunStart { seed, nodes } => {
+                self.seed = Some(*seed);
+                self.schema_version = Some(u64::from(crate::SCHEMA_VERSION));
+                if *nodes > 0 {
+                    self.node_mut(*nodes - 1);
+                }
+            }
+            TraceRecord::Dispatch { .. } => self.dispatches += 1,
+            TraceRecord::PacketTx { node, .. } => self.node_mut(*node).tx += 1,
+            TraceRecord::PacketRx { node, .. } => self.node_mut(*node).rx += 1,
+            TraceRecord::PacketDrop { node, .. } => self.node_mut(*node).drops += 1,
+            TraceRecord::Collision { node, .. } => self.node_mut(*node).collisions += 1,
+            TraceRecord::EnergyDebit {
+                node,
+                state,
+                joules,
+                ..
+            } => {
+                if let Some(si) = ENERGY_STATES.iter().position(|s| s == state) {
+                    self.node_mut(*node).energy_by_state[si] += joules;
+                }
+            }
+            TraceRecord::GradientReinforce { .. } => self.reinforcements += 1,
+            TraceRecord::TreeEdge { .. } => self.tree_edges += 1,
+            TraceRecord::AggMerge { .. } => self.merges += 1,
+            TraceRecord::Snapshot { node, energy_j, .. } => {
+                self.snapshots += 1;
+                self.node_mut(*node).last_snapshot_energy_j = Some(*energy_j);
+            }
+            TraceRecord::RunEnd {
+                events,
+                total_energy_j,
+                ..
+            } => self.run_end = Some((*events, *total_energy_j)),
+        }
+    }
+
+    /// Folds one NDJSON line into the summary (unparsable lines are counted
+    /// in [`TraceSummary::skipped_lines`] and otherwise ignored).
+    pub fn add_line(&mut self, line: &str) {
+        if line.trim().is_empty() {
+            return;
+        }
+        let Some(p) = parse_line(line) else {
+            self.skipped_lines += 1;
+            return;
+        };
+        let Some(tag) = p.tag() else {
+            self.skipped_lines += 1;
+            return;
+        };
+        self.records += 1;
+        match tag {
+            "run_start" => {
+                self.seed = p.u64_field("seed");
+                self.schema_version = p.u64_field("v");
+                if let Some(n) = p.u32_field("nodes") {
+                    if n > 0 {
+                        self.node_mut(n - 1);
+                    }
+                }
+            }
+            "dispatch" => self.dispatches += 1,
+            "tx" => {
+                if let Some(n) = p.u32_field("node") {
+                    self.node_mut(n).tx += 1;
+                }
+            }
+            "rx" => {
+                if let Some(n) = p.u32_field("node") {
+                    self.node_mut(n).rx += 1;
+                }
+            }
+            "drop" => {
+                if let Some(n) = p.u32_field("node") {
+                    self.node_mut(n).drops += 1;
+                }
+            }
+            "collision" => {
+                if let Some(n) = p.u32_field("node") {
+                    self.node_mut(n).collisions += 1;
+                }
+            }
+            "energy" => {
+                if let (Some(n), Some(state), Some(j)) = (
+                    p.u32_field("node"),
+                    p.str_field("state"),
+                    p.f64_field("joules"),
+                ) {
+                    if let Some(si) = ENERGY_STATES.iter().position(|&s| s == state) {
+                        self.node_mut(n).energy_by_state[si] += j;
+                    }
+                }
+            }
+            "reinforce" => self.reinforcements += 1,
+            "tree_edge" => self.tree_edges += 1,
+            "agg_merge" => self.merges += 1,
+            "snapshot" => {
+                self.snapshots += 1;
+                if let (Some(n), Some(j)) = (p.u32_field("node"), p.f64_field("energy_j")) {
+                    self.node_mut(n).last_snapshot_energy_j = Some(j);
+                }
+            }
+            "run_end" => {
+                if let (Some(e), Some(j)) = (p.u64_field("events"), p.f64_field("total_energy_j")) {
+                    self.run_end = Some((e, j));
+                }
+            }
+            _ => self.skipped_lines += 1,
+        }
+    }
+
+    /// Reduces a whole NDJSON text.
+    pub fn from_text(text: &str) -> Self {
+        let mut s = TraceSummary::new();
+        for line in text.lines() {
+            s.add_line(line);
+        }
+        s
+    }
+
+    /// Total debited energy across nodes, summed in node order (mirrors the
+    /// run's `total_energy_j` summation).
+    pub fn total_energy_j(&self) -> f64 {
+        self.nodes.iter().map(NodeTally::energy_j).sum()
+    }
+
+    /// The `n` nodes with the highest debited energy, hottest first (ties
+    /// break toward the lower node id, deterministically).
+    pub fn hottest(&self, n: usize) -> Vec<(u32, f64)> {
+        let mut v: Vec<(u32, f64)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as u32, t.energy_j()))
+            .collect();
+        v.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite energies")
+                .then(a.0.cmp(&b.0))
+        });
+        v.truncate(n);
+        v
+    }
+
+    /// A fixed-width histogram of per-node energy: `buckets` equal-width
+    /// bins spanning `[min, max]` of the per-node totals. Returns
+    /// `(lower_bound, upper_bound, count)` per bin.
+    pub fn energy_histogram(&self, buckets: usize) -> Vec<(f64, f64, usize)> {
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        if self.nodes.is_empty() {
+            return Vec::new();
+        }
+        let energies: Vec<f64> = self.nodes.iter().map(NodeTally::energy_j).collect();
+        let min = energies.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = energies.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let width = ((max - min) / buckets as f64).max(f64::MIN_POSITIVE);
+        let mut bins = vec![0usize; buckets];
+        for &e in &energies {
+            let b = (((e - min) / width) as usize).min(buckets - 1);
+            bins[b] += 1;
+        }
+        bins.iter()
+            .enumerate()
+            .map(|(i, &c)| (min + width * i as f64, min + width * (i + 1) as f64, c))
+            .collect()
+    }
+
+    /// Renders the figure-style report: totals, per-node energy histogram,
+    /// and the top-`top` hottest nodes.
+    pub fn render(&self, top: usize, buckets: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "# trace summary");
+        if let Some(v) = self.schema_version {
+            let _ = writeln!(out, "schema_version {v}");
+        }
+        if let Some(seed) = self.seed {
+            let _ = writeln!(out, "seed           {seed}");
+        }
+        let _ = writeln!(out, "records        {}", self.records);
+        if self.skipped_lines > 0 {
+            let _ = writeln!(out, "skipped_lines  {}", self.skipped_lines);
+        }
+        let _ = writeln!(out, "nodes          {}", self.nodes.len());
+        let _ = writeln!(out, "dispatches     {}", self.dispatches);
+        let _ = writeln!(
+            out,
+            "tx/rx/drops    {}/{}/{}",
+            self.nodes.iter().map(|t| t.tx).sum::<u64>(),
+            self.nodes.iter().map(|t| t.rx).sum::<u64>(),
+            self.nodes.iter().map(|t| t.drops).sum::<u64>()
+        );
+        let _ = writeln!(
+            out,
+            "collisions     {}",
+            self.nodes.iter().map(|t| t.collisions).sum::<u64>()
+        );
+        let _ = writeln!(out, "reinforcements {}", self.reinforcements);
+        let _ = writeln!(out, "tree_edges     {}", self.tree_edges);
+        let _ = writeln!(out, "agg_merges     {}", self.merges);
+        let _ = writeln!(out, "snapshots      {}", self.snapshots);
+        let _ = writeln!(out, "energy_total_j {:.9}", self.total_energy_j());
+        if let Some((events, j)) = self.run_end {
+            let drift = (self.total_energy_j() - j).abs();
+            let _ = writeln!(out, "run_end        events={events} total_energy_j={j:.9}");
+            let _ = writeln!(out, "debit_drift_j  {drift:.3e}");
+        }
+        if !self.nodes.is_empty() {
+            let _ = writeln!(out, "\n## per-node energy histogram (J/node)");
+            let hist = self.energy_histogram(buckets);
+            let peak = hist.iter().map(|&(_, _, c)| c).max().unwrap_or(1).max(1);
+            for (lo, hi, count) in hist {
+                let bar = "#".repeat(count * 40 / peak);
+                let _ = writeln!(out, "[{lo:>12.6}, {hi:>12.6})  {count:>5}  {bar}");
+            }
+            let _ = writeln!(out, "\n## top {top} hottest nodes");
+            let _ = writeln!(
+                out,
+                "{:>6} {:>14} {:>8} {:>8} {:>8} {:>8}",
+                "node", "energy_j", "tx", "rx", "drops", "colls"
+            );
+            for (id, e) in self.hottest(top) {
+                let t = &self.nodes[id as usize];
+                let _ = writeln!(
+                    out,
+                    "{:>6} {:>14.6} {:>8} {:>8} {:>8} {:>8}",
+                    format!("n{id}"),
+                    e,
+                    t.tx,
+                    t.rx,
+                    t.drops,
+                    t.collisions
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn debit(node: u32, state: &'static str, joules: f64) -> TraceRecord {
+        TraceRecord::EnergyDebit {
+            t_ns: 0,
+            node,
+            state,
+            joules,
+        }
+    }
+
+    #[test]
+    fn record_and_line_reductions_agree() {
+        let recs = vec![
+            TraceRecord::RunStart { seed: 9, nodes: 3 },
+            debit(0, "idle", 1.0),
+            debit(1, "tx", 2.0),
+            debit(1, "rx", 0.5),
+            TraceRecord::PacketTx {
+                t_ns: 1,
+                node: 1,
+                kind: "data",
+                bytes: 64,
+                dst: None,
+            },
+            TraceRecord::Collision { t_ns: 2, node: 2 },
+            TraceRecord::RunEnd {
+                t_ns: 3,
+                events: 5,
+                total_energy_j: 3.5,
+            },
+        ];
+        let mut from_records = TraceSummary::new();
+        let mut text = String::new();
+        for r in &recs {
+            from_records.add_record(r);
+            text.push_str(&r.to_json());
+            text.push('\n');
+        }
+        let from_lines = TraceSummary::from_text(&text);
+        assert_eq!(from_records.records, from_lines.records);
+        assert_eq!(from_lines.skipped_lines, 0);
+        assert_eq!(from_records.total_energy_j(), from_lines.total_energy_j());
+        assert_eq!(from_lines.total_energy_j(), 3.5);
+        assert_eq!(from_lines.nodes.len(), 3);
+        assert_eq!(from_lines.nodes[1].tx, 1);
+        assert_eq!(from_lines.nodes[2].collisions, 1);
+        assert_eq!(from_lines.run_end, Some((5, 3.5)));
+        assert_eq!(from_lines.seed, Some(9));
+    }
+
+    #[test]
+    fn hottest_sorts_descending_with_stable_ties() {
+        let mut s = TraceSummary::new();
+        s.add_record(&debit(0, "tx", 1.0));
+        s.add_record(&debit(1, "tx", 3.0));
+        s.add_record(&debit(2, "tx", 1.0));
+        assert_eq!(s.hottest(2), vec![(1, 3.0), (0, 1.0)]);
+    }
+
+    #[test]
+    fn histogram_covers_extremes() {
+        let mut s = TraceSummary::new();
+        for (n, j) in [(0, 0.0), (1, 5.0), (2, 10.0)] {
+            s.add_record(&debit(n, "idle", j));
+        }
+        let h = s.energy_histogram(2);
+        assert_eq!(h.len(), 2);
+        // Bins are half-open, so the 5.0 edge value lands in the upper bin
+        // and the max value clamps into the last bin.
+        assert_eq!(h[0].2, 1);
+        assert_eq!(h[1].2, 2);
+        assert_eq!(h.iter().map(|&(_, _, c)| c).sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn render_mentions_key_sections() {
+        let mut s = TraceSummary::new();
+        s.add_record(&TraceRecord::RunStart { seed: 1, nodes: 2 });
+        s.add_record(&debit(0, "tx", 2.0));
+        let text = s.render(5, 4);
+        assert!(text.contains("per-node energy histogram"));
+        assert!(text.contains("hottest nodes"));
+        assert!(text.contains("energy_total_j"));
+    }
+
+    #[test]
+    fn unparsable_lines_are_counted_not_fatal() {
+        let s = TraceSummary::from_text("garbage\n{\"ev\":\"dispatch\",\"t_ns\":1,\"seq\":1}\n");
+        assert_eq!(s.skipped_lines, 1);
+        assert_eq!(s.dispatches, 1);
+    }
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Perf baseline for the run-execution layer: run a small fixed sweep with
+# per-job NDJSON --progress lines and join them into BENCH_PR2.json
+# (per-job simulator events, wall ms, events/sec) so later PRs have a
+# recorded reference point to diff against. bash + grep/sed only — no jq.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR2.json}"
+progress_log="$(mktemp)"
+trap 'rm -f "$progress_log" "$out.tmp"' EXIT
+
+cargo build --release -p wsn-bench >/dev/null
+
+# Serial (--jobs 1) so per-job wall times are not distorted by core sharing.
+cargo run --release -p wsn-bench --bin fig8 -- \
+    --quick --fields 2 --duration 30 --no-csv --progress --jobs 1 \
+    >/dev/null 2>"$progress_log"
+
+jobs_n="$(grep -c '^{"job"' "$progress_log")"
+test "$jobs_n" -gt 0
+
+{
+    printf '{"bench":"fig8 --quick --fields 2 --duration 30 --jobs 1",\n'
+    printf ' "jobs":[\n'
+    grep '^{"job"' "$progress_log" | sed 's/^/  /;$!s/$/,/'
+    printf ' ]}\n'
+} >"$out.tmp"
+mv "$out.tmp" "$out"
+echo "wrote $out ($jobs_n job records)"

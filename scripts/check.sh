@@ -20,4 +20,17 @@ echo "==> smoke sweep: 2 points x 2 fields through the job runner"
 cargo run --release -p wsn-bench --bin fig8 -- \
     --quick --fields 2 --duration 30 --no-csv --progress
 
+echo "==> trace smoke: traced sweep is byte-stable and reduces cleanly"
+tracedir="$(mktemp -d)"
+trap 'rm -rf "$tracedir"' EXIT
+cargo run --release -p wsn-bench --bin fig8 -- \
+    --quick --fields 2 --duration 30 --no-csv --trace "$tracedir/a" >/dev/null
+cargo run --release -p wsn-bench --bin fig8 -- \
+    --quick --fields 2 --duration 30 --no-csv --trace "$tracedir/b" >/dev/null
+ls "$tracedir/a"/*.jsonl >/dev/null  # at least one trace file written
+diff -r "$tracedir/a" "$tracedir/b"  # same seed => byte-identical traces
+report="$(cargo run --release -p wsn-bench --bin trace_report -- "$tracedir/a")"
+echo "$report" | grep -q "per-node energy histogram"
+echo "$report" | grep -q "hottest nodes"
+
 echo "==> all checks passed"

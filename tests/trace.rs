@@ -1,0 +1,140 @@
+//! The telemetry contract, end to end: traces are a pure function of
+//! `(scenario, seed)` — byte-identical across repeated runs — their energy
+//! debits reconcile with the run's metrics, and tracing never perturbs the
+//! simulation it observes.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use wsn::core::{Experiment, RunOutcome};
+use wsn::diffusion::Scheme;
+use wsn::net::TraceOptions;
+use wsn::scenario::ScenarioSpec;
+use wsn::sim::SimDuration;
+use wsn::trace::{JsonlSink, MemSink, SharedSink, TraceSummary};
+
+fn experiment(nodes: usize, seed: u64) -> Experiment {
+    let mut spec = ScenarioSpec::paper(nodes, seed);
+    spec.duration = SimDuration::from_secs(30);
+    Experiment::new(spec, Scheme::Greedy)
+}
+
+fn full_options() -> TraceOptions {
+    TraceOptions {
+        snapshot_every: Some(SimDuration::from_secs(10)),
+        dispatch: true,
+    }
+}
+
+/// Runs `exp` with a JSONL sink over an in-memory buffer and returns the
+/// trace bytes alongside the outcome.
+fn traced_bytes(exp: &Experiment, opts: TraceOptions) -> (Vec<u8>, RunOutcome) {
+    let sink = Rc::new(RefCell::new(JsonlSink::new(Vec::new())));
+    let handle: SharedSink = sink.clone();
+    let outcome = exp
+        .run_budgeted_traced(u64::MAX, Some((handle, opts)))
+        .expect("u64::MAX budget cannot trip");
+    // finish_trace drops the engine's handle, so ours is the last one.
+    let sink = Rc::try_unwrap(sink)
+        .expect("the engine must release its sink handle at run end")
+        .into_inner();
+    (sink.into_inner().expect("Vec writer cannot fail"), outcome)
+}
+
+#[test]
+fn same_seed_traces_are_byte_identical() {
+    let exp = experiment(50, 42);
+    let (a, _) = traced_bytes(&exp, full_options());
+    let (b, _) = traced_bytes(&exp, full_options());
+    assert!(!a.is_empty(), "a 30 s run must produce trace records");
+    assert_eq!(a, b, "same (scenario, seed) must trace identical bytes");
+}
+
+#[test]
+fn trace_lines_all_parse_and_carry_run_framing() {
+    let exp = experiment(50, 42);
+    let (bytes, outcome) = traced_bytes(&exp, full_options());
+    let text = String::from_utf8(bytes).expect("traces are ASCII JSON");
+    let summary = TraceSummary::from_text(&text);
+    assert_eq!(summary.skipped_lines, 0, "every line must parse");
+    assert_eq!(summary.seed, Some(42));
+    assert_eq!(
+        summary.schema_version,
+        Some(u64::from(wsn::trace::SCHEMA_VERSION))
+    );
+    assert_eq!(summary.nodes.len(), 50);
+    let (events, total) = summary.run_end.expect("run_end record");
+    assert_eq!(events, outcome.accounting.events_processed);
+    assert_eq!(total, outcome.record.total_energy_j);
+    // Dispatch records cover every dispatched event (the hook fires per
+    // event, including the snapshot events themselves).
+    assert_eq!(summary.dispatches, outcome.accounting.events_processed);
+    // 30 s at a 10 s cadence: snapshots at 10/20/30 s plus the final
+    // snapshot_all at close-out — at least 3 per node.
+    assert!(
+        summary.snapshots >= 3 * 50,
+        "expected >= 150 snapshots, got {}",
+        summary.snapshots
+    );
+    assert!(summary.nodes[0].last_snapshot_energy_j.is_some());
+}
+
+#[test]
+fn energy_debits_reconcile_with_the_run_record() {
+    let exp = experiment(60, 7);
+    let sink = Rc::new(RefCell::new(MemSink::new()));
+    let handle: SharedSink = sink.clone();
+    let outcome = exp
+        .run_budgeted_traced(u64::MAX, Some((handle, TraceOptions::default())))
+        .expect("u64::MAX budget cannot trip");
+    let events = Rc::try_unwrap(sink)
+        .expect("engine released its handle")
+        .into_inner()
+        .events;
+    let mut summary = TraceSummary::new();
+    for rec in &events {
+        summary.add_record(rec);
+    }
+    let debited = summary.total_energy_j();
+    let recorded = outcome.record.total_energy_j;
+    assert!(
+        (debited - recorded).abs() < 1e-9,
+        "debit sum {debited} vs RunRecord total {recorded}"
+    );
+}
+
+#[test]
+fn tracing_does_not_perturb_the_simulation() {
+    let exp = experiment(50, 13);
+    let untraced = exp.run_budgeted(u64::MAX).expect("no budget");
+    // Snapshots off: the traced run dispatches the same event sequence.
+    let (_, traced) = traced_bytes(&exp, TraceOptions::default());
+    assert_eq!(
+        untraced.record, traced.record,
+        "metrics must be bit-identical"
+    );
+    assert_eq!(untraced.accounting, traced.accounting);
+    assert_eq!(untraced.hotspot, traced.hotspot);
+    // Snapshots on: the extra read-only snapshot events are accounted, but
+    // the physics is unchanged.
+    let (_, snapshotted) = traced_bytes(&exp, full_options());
+    assert_eq!(untraced.record, snapshotted.record);
+    assert_eq!(untraced.hotspot, snapshotted.hotspot);
+}
+
+#[test]
+fn protocol_records_appear_in_a_real_run() {
+    let exp = experiment(70, 3);
+    let (bytes, _) = traced_bytes(&exp, TraceOptions::default());
+    let text = String::from_utf8(bytes).expect("ASCII JSON");
+    let summary = TraceSummary::from_text(&text);
+    assert!(summary.reinforcements > 0, "sinks must reinforce gradients");
+    assert!(summary.tree_edges > 0, "reinforcement must grow a tree");
+    assert!(
+        summary.merges > 0,
+        "greedy aggregation must merge upstream data"
+    );
+    let tx: u64 = summary.nodes.iter().map(|t| t.tx).sum();
+    let rx: u64 = summary.nodes.iter().map(|t| t.rx).sum();
+    assert!(tx > 0 && rx > 0);
+}

@@ -14,6 +14,7 @@ use wsn_diffusion::{FloodingConfig, FloodingNode, Role, Scheme};
 use wsn_metrics::{FigureTable, Summary};
 use wsn_net::{NetConfig, Network};
 use wsn_scenario::ScenarioSpec;
+use wsn_trace::JsonlSink;
 use wsn_trees::{greedy_incremental_tree, Graph};
 
 fn main() {
@@ -80,12 +81,22 @@ fn main() {
         };
         let flood_delivery = flood_distinct as f64 / flood_generated.max(1) as f64;
 
-        // The two diffusion schemes.
+        // The two diffusion schemes. These go through the hand-rolled
+        // instance (shared with the flooding bracket) rather than a
+        // `RunJob`, so `--trace` is honoured here directly: one file per
+        // (field, scheme) under the runner's naming scheme, point 0.
         let mut scheme_energy = Vec::new();
         let mut scheme_delivery = Vec::new();
         for scheme in [Scheme::Opportunistic, Scheme::Greedy] {
+            let trace = opts.runner.trace.as_ref().map(|spec| {
+                let path = spec.job_path(0.0, f as usize, scheme);
+                let sink = JsonlSink::create(&path)
+                    .unwrap_or_else(|e| panic!("cannot create trace file {}: {e}", path.display()));
+                (wsn_trace::shared(sink), spec.options())
+            });
             let m = Experiment::new(spec.clone(), scheme)
-                .run_on(&instance)
+                .run_on_traced(&instance, u64::MAX, trace)
+                .expect("an unbounded event budget cannot trip")
                 .record
                 .metrics();
             scheme_energy.push(m.avg_activity_energy);

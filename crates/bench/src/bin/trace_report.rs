@@ -8,7 +8,9 @@
 //! ```
 //!
 //! Also accepts a single `.jsonl` file in place of a directory. Exits with
-//! status 2 when the path does not exist or holds no trace files.
+//! status 2 when the path does not exist or holds no trace files. With
+//! `--profile`, traces from profiled runs (`--profile` on the figure binary)
+//! additionally get a per-event-type dispatch-cost table.
 
 use std::path::{Path, PathBuf};
 
@@ -18,21 +20,25 @@ struct Args {
     path: PathBuf,
     top: usize,
     buckets: usize,
+    profile: bool,
 }
 
 fn parse_args() -> Args {
     let mut path: Option<PathBuf> = None;
     let mut top = 5usize;
     let mut buckets = 10usize;
+    let mut profile = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         let mut val = || it.next().unwrap_or_else(|| panic!("{a} needs a value"));
         match a.as_str() {
             "--top" => top = val().parse().expect("--top takes an integer"),
             "--buckets" => buckets = val().parse().expect("--buckets takes an integer"),
+            "--profile" => profile = true,
             other if other.starts_with("--") => {
                 panic!(
-                    "unknown argument {other:?}; usage: trace_report DIR [--top N] [--buckets N]"
+                    "unknown argument {other:?}; usage: trace_report DIR [--top N] [--buckets N] \
+                     [--profile]"
                 )
             }
             other => {
@@ -45,9 +51,10 @@ fn parse_args() -> Args {
         }
     }
     Args {
-        path: path.expect("usage: trace_report DIR [--top N] [--buckets N]"),
+        path: path.expect("usage: trace_report DIR [--top N] [--buckets N] [--profile]"),
         top,
         buckets,
+        profile,
     }
 }
 
@@ -88,6 +95,14 @@ fn main() {
         let summary = TraceSummary::from_text(&text);
         println!("=== {} ===", file.display());
         print!("{}", summary.render(args.top, args.buckets));
+        if args.profile {
+            let section = summary.render_profile();
+            if section.is_empty() {
+                println!("# no profile records (re-run with --profile on the figure binary)");
+            } else {
+                print!("{section}");
+            }
+        }
         println!();
         grand_energy += summary.total_energy_j();
         grand_records += summary.records;

@@ -18,8 +18,14 @@
 //!   scheme, simulator events, simulated seconds, wall ms, events/sec);
 //! * `--trace DIR` — write one JSONL telemetry trace per job into `DIR`
 //!   (created if absent), named `point<x>_field<i>_<scheme>.jsonl`; reduce
-//!   a trace directory with the `trace_report` binary. Same seed ⇒
-//!   byte-identical trace files.
+//!   a trace directory with the `trace_report` binary, check its
+//!   conservation invariants with `trace_audit`. Same seed ⇒
+//!   byte-identical trace files;
+//! * `--profile` — attach the wall-clock dispatch profiler to every run:
+//!   per-job totals ride the `--progress` stream and, combined with
+//!   `--trace`, land in each trace as `profile` records (render with
+//!   `trace_report --profile`). Profile numbers are wall-clock and thus
+//!   nondeterministic; metrics stay bit-identical.
 //!
 //! Output is the three metric panels of the figure as aligned text tables
 //! (mean ± standard deviation over fields) followed by CSV blocks, suitable
@@ -88,10 +94,11 @@ impl HarnessOptions {
                         .unwrap_or_else(|e| panic!("cannot create trace directory {dir:?}: {e}"));
                     runner.trace = Some(TraceSpec::new(dir));
                 }
+                "--profile" => runner.profile = true,
                 other => panic!(
                     "unknown argument {other:?}; usage: [--quick] [--fields N] [--duration SECS] \
                      [--seed SEED] [--no-csv] [--jobs N] [--max-events N] [--progress] \
-                     [--trace DIR]"
+                     [--trace DIR] [--profile]"
                 ),
             }
         }
@@ -197,6 +204,13 @@ mod tests {
         assert_eq!(o.runner.effective_workers(), 3);
         assert_eq!(o.runner.max_events, Some(5000));
         assert!(o.runner.progress);
+        assert!(!o.runner.profile);
+    }
+
+    #[test]
+    fn profile_flag_arms_the_profiler() {
+        let o = HarnessOptions::parse(s(&["--profile"]));
+        assert!(o.runner.profile);
     }
 
     #[test]

@@ -4,8 +4,8 @@ use wsn_diffusion::{DiffusionConfig, DiffusionNode, Role, Scheme};
 use wsn_metrics::RunRecord;
 use wsn_net::{EventBudgetExceeded, NetConfig, Network, NodeId, TraceOptions};
 use wsn_scenario::{ScenarioInstance, ScenarioSpec};
-use wsn_sim::RunAccounting;
-use wsn_trace::SharedSink;
+use wsn_sim::{RunAccounting, SharedProfile};
+use wsn_trace::{SharedSink, TraceRecord};
 
 /// A fully specified experiment run.
 ///
@@ -110,6 +110,24 @@ impl Experiment {
         self.run_on_traced(&instance, max_events, trace)
     }
 
+    /// [`run_budgeted_traced`](Experiment::run_budgeted_traced) with an
+    /// optional dispatch profiler; see
+    /// [`run_on_instrumented`](Experiment::run_on_instrumented).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventBudgetExceeded`] if the budget runs out before the
+    /// scenario's end time.
+    pub fn run_budgeted_instrumented(
+        &self,
+        max_events: u64,
+        trace: Option<(SharedSink, TraceOptions)>,
+        profile: Option<SharedProfile>,
+    ) -> Result<RunOutcome, EventBudgetExceeded> {
+        let instance = self.scenario.instantiate();
+        self.run_on_instrumented(&instance, max_events, trace, profile)
+    }
+
     /// [`run_on`](Experiment::run_on) under a watchdog budget; see
     /// [`run_budgeted`](Experiment::run_budgeted).
     ///
@@ -125,14 +143,8 @@ impl Experiment {
         self.run_on_traced(instance, max_events, None)
     }
 
-    /// The full-control entry point: instantiated scenario, watchdog budget,
-    /// optional trace sink.
-    ///
-    /// The trace is closed out *after* the metrics are harvested, so a
-    /// traced run produces bit-identical metrics to an untraced one (closing
-    /// the energy meters folds partially elapsed intervals into their
-    /// per-state buckets, which can perturb the floating-point summation
-    /// order by an ulp).
+    /// [`run_on_instrumented`](Experiment::run_on_instrumented) without a
+    /// profiler.
     ///
     /// # Errors
     ///
@@ -143,6 +155,38 @@ impl Experiment {
         instance: &ScenarioInstance,
         max_events: u64,
         trace: Option<(SharedSink, TraceOptions)>,
+    ) -> Result<RunOutcome, EventBudgetExceeded> {
+        self.run_on_instrumented(instance, max_events, trace, None)
+    }
+
+    /// The full-control entry point: instantiated scenario, watchdog budget,
+    /// optional trace sink, optional dispatch profiler.
+    ///
+    /// The trace is closed out *after* the metrics are harvested, so a
+    /// traced run produces bit-identical metrics to an untraced one (closing
+    /// the energy meters folds partially elapsed intervals into their
+    /// per-state buckets, which can perturb the floating-point summation
+    /// order by an ulp). A traced run additionally self-describes: the
+    /// harvested counters land in the trace as a `metrics` record, which is
+    /// what lets [`wsn_trace::audit`] check a trace against the metrics the
+    /// run reported without any side channel.
+    ///
+    /// Profiling attaches a wall-clock dispatch profiler to the engine; the
+    /// measured numbers are *not* deterministic, so they are only written to
+    /// the trace (as `profile` records) when profiling was explicitly
+    /// requested — a traced-but-unprofiled run stays byte-identical across
+    /// repeats.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventBudgetExceeded`] if the budget runs out before the
+    /// scenario's end time.
+    pub fn run_on_instrumented(
+        &self,
+        instance: &ScenarioInstance,
+        max_events: u64,
+        trace: Option<(SharedSink, TraceOptions)>,
+        profile: Option<SharedProfile>,
     ) -> Result<RunOutcome, EventBudgetExceeded> {
         let diffusion = self.diffusion.clone();
         let mut net = Network::new(
@@ -161,8 +205,12 @@ impl Experiment {
                 net.schedule_up(e.at, e.node);
             }
         }
+        let sink_handle = trace.as_ref().map(|(sink, _)| sink.clone());
         if let Some((sink, opts)) = trace {
             net.set_trace(sink, opts);
+        }
+        if let Some(p) = profile.clone() {
+            net.set_profile(p);
         }
         let run_result = net.run_until_capped(instance.end, max_events);
         if let Err(cause) = run_result {
@@ -213,6 +261,32 @@ impl Experiment {
             hotspot,
             accounting: net.accounting(),
         };
+        if let Some(sink) = &sink_handle {
+            // The trace carries the metrics the run reported — the audit
+            // anchor. Harvested values, so the energy here reconciles with
+            // the debit stream only to within an ulp (the `run_end` total,
+            // taken after meter close-out, is the exact one).
+            sink.borrow_mut().record(&TraceRecord::RunMetrics {
+                t_ns: net.now().as_nanos(),
+                generated: outcome.record.events_generated,
+                distinct: outcome.record.distinct_events,
+                delay_sum_s: outcome.record.delay_sum_s,
+                sinks: outcome.record.sink_count as u32,
+                total_energy_j: outcome.record.total_energy_j,
+            });
+            // Profile rows enter the trace only on explicit profiling (they
+            // are wall-clock and would break byte-identical repeats).
+            if let Some(p) = &profile {
+                for (label, e) in p.borrow().entries() {
+                    sink.borrow_mut().record(&TraceRecord::Profile {
+                        label: label.to_string(),
+                        count: e.count,
+                        total_ns: e.total_ns,
+                        max_ns: e.max_ns,
+                    });
+                }
+            }
+        }
         // Close the trace only after harvesting (see the method docs); the
         // flush error is deliberately swallowed — the record stream already
         // tolerates mid-run write failures, and metrics must not depend on

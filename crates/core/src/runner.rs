@@ -34,7 +34,7 @@ use wsn_diffusion::{DiffusionConfig, Scheme};
 use wsn_metrics::PaperMetrics;
 use wsn_net::{EventBudgetExceeded, NetConfig, TraceOptions};
 use wsn_scenario::ScenarioSpec;
-use wsn_sim::{RunAccounting, SimDuration};
+use wsn_sim::{ProfileSink, RunAccounting, SimDuration};
 use wsn_trace::JsonlSink;
 
 use crate::experiment::Experiment;
@@ -81,6 +81,11 @@ pub struct JobReport {
     /// Simulator events dispatched per wall-clock second — the runner's
     /// throughput figure (informational, like [`JobReport::wall_ms`]).
     pub events_per_sec: f64,
+    /// Where this job's trace landed ([`None`] on untraced runs).
+    pub trace_path: Option<PathBuf>,
+    /// The job's dispatch profile ([`None`] unless [`Runner::profile`];
+    /// wall-clock data — informational, never feeds back into results).
+    pub profile: Option<ProfileSink>,
 }
 
 /// Where (and how densely) the runner writes per-job trace artifacts.
@@ -171,6 +176,11 @@ pub struct Runner {
     /// Write one `.jsonl` trace per job; `None` (the default) runs
     /// untraced — the zero-overhead path.
     pub trace: Option<TraceSpec>,
+    /// Attach a wall-clock dispatch profiler to every job. The profile
+    /// reaches [`JobReport::profile`], the progress stream, and — when
+    /// tracing too — the trace's `profile` records. Off by default: profile
+    /// numbers are nondeterministic by nature.
+    pub profile: bool,
 }
 
 impl Runner {
@@ -182,6 +192,7 @@ impl Runner {
             max_events: None,
             progress: false,
             trace: None,
+            profile: false,
         }
     }
 
@@ -234,14 +245,30 @@ impl Runner {
         // The sink is created (and owned) on whichever worker thread runs
         // the job; it never crosses threads, so the single-threaded
         // `Rc<RefCell<…>>` handle suffices.
+        let trace_path = self
+            .trace
+            .as_ref()
+            .map(|spec| spec.job_path(job.point_x, job.field_index, job.scheme));
         let trace = self.trace.as_ref().map(|spec| {
-            let path = spec.job_path(job.point_x, job.field_index, job.scheme);
-            let sink = JsonlSink::create(&path)
+            let path = trace_path.as_ref().expect("trace spec implies a path");
+            let sink = JsonlSink::create(path)
                 .unwrap_or_else(|e| panic!("cannot create trace file {}: {e}", path.display()));
             (wsn_trace::shared(sink), spec.options())
         });
-        let result = exp.run_budgeted_traced(budget, trace);
+        let profile = self
+            .profile
+            .then(|| wsn_sim::shared_profile(ProfileSink::new()));
+        let result = exp.run_budgeted_instrumented(budget, trace, profile.clone());
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        // The handle never escapes the job; pull the data back out of it.
+        let profile = profile.map(|p| p.borrow().clone());
+        // Progress lines carry the artifact path so a consumer tailing the
+        // stream can go straight from a finished (or failed) job to its
+        // trace without re-deriving the naming scheme.
+        let trace_json = trace_path
+            .as_ref()
+            .map(|p| format!(",\"trace\":{}", json_string(&p.display().to_string())))
+            .unwrap_or_default();
         match result {
             Ok(outcome) => {
                 let events = outcome.accounting.events_processed;
@@ -250,11 +277,25 @@ impl Runner {
                     accounting: outcome.accounting,
                     wall_ms,
                     events_per_sec: events_per_sec(events, wall_ms),
+                    trace_path,
+                    profile,
                 };
                 if self.progress {
+                    let profile_json = report
+                        .profile
+                        .as_ref()
+                        .and_then(|p| p.hottest().map(|(label, _)| (label, p.total_ns())))
+                        .map(|(label, total_ns)| {
+                            format!(
+                                ",\"profile_ns\":{},\"hottest\":{}",
+                                total_ns,
+                                json_string(label)
+                            )
+                        })
+                        .unwrap_or_default();
                     eprintln!(
                         "{{\"job\":\"done\",\"point\":{},\"field\":{},\"scheme\":\"{}\",\
-                         \"events\":{},\"sim_s\":{:.1},\"wall_ms\":{:.1},\"events_per_sec\":{:.0}}}",
+                         \"events\":{},\"sim_s\":{:.1},\"wall_ms\":{:.1},\"events_per_sec\":{:.0}{}{}}}",
                         job.point_x,
                         job.field_index,
                         job.scheme,
@@ -262,6 +303,8 @@ impl Runner {
                         report.accounting.final_time.as_secs_f64(),
                         wall_ms,
                         report.events_per_sec,
+                        trace_json,
+                        profile_json,
                     );
                 }
                 Ok(report)
@@ -270,13 +313,14 @@ impl Runner {
                 if self.progress {
                     eprintln!(
                         "{{\"job\":\"error\",\"point\":{},\"field\":{},\"scheme\":\"{}\",\
-                         \"events\":{},\"sim_s\":{:.1},\"wall_ms\":{:.1},\"error\":\"budget\"}}",
+                         \"events\":{},\"sim_s\":{:.1},\"wall_ms\":{:.1},\"error\":\"budget\"{}}}",
                         job.point_x,
                         job.field_index,
                         job.scheme,
                         cause.events_processed,
                         cause.sim_time.as_secs_f64(),
                         wall_ms,
+                        trace_json,
                     );
                 }
                 Err(JobError {
@@ -342,6 +386,24 @@ impl Default for Runner {
     }
 }
 
+/// Minimal JSON string literal: quotes `s`, escaping the characters NDJSON
+/// consumers would otherwise trip on (quotes, backslashes — trace paths on
+/// some platforms — and control characters).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 /// Dispatch throughput in events per wall-clock second (`0` when the job
 /// finished below timer resolution).
 fn events_per_sec(events: u64, wall_ms: f64) -> f64 {
@@ -381,6 +443,13 @@ mod tests {
     fn effective_workers_resolves_zero() {
         assert!(Runner::new(0).effective_workers() >= 1);
         assert_eq!(Runner::new(3).effective_workers(), 3);
+    }
+
+    #[test]
+    fn json_string_escapes_quotes_and_controls() {
+        assert_eq!(json_string("plain/path.jsonl"), "\"plain/path.jsonl\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("tab\there"), "\"tab\\u0009here\"");
     }
 
     #[test]

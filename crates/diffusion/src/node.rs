@@ -12,9 +12,11 @@
 //! * negative reinforcement / path truncation (§4.3).
 
 use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
 
 use wsn_net::{Ctx, NodeId, Packet, Protocol, TimerHandle};
 use wsn_sim::{SimDuration, SimTime};
+use wsn_trace::{join_lineage, DropReason, LineageId, TraceRecord};
 
 use crate::aggregate::{AggregationBuffer, IncomingAgg};
 use crate::cache::ExplCache;
@@ -175,6 +177,30 @@ impl DiffusionNode {
     // Sending helpers
     // ------------------------------------------------------------------
 
+    /// The lineage id of one event item (`source#round` on the wire).
+    fn item_lineage(item: &EventItem) -> LineageId {
+        LineageId {
+            src: item.source.0,
+            seq: item.round,
+        }
+    }
+
+    /// The lineage stamp of an outgoing message. Only payload-bearing
+    /// messages (data aggregates and exploratory events) carry event
+    /// lineage; control traffic has none. Called only on traced runs —
+    /// untraced sends must not pay for the encoding.
+    fn msg_lineage(msg: &DiffMsg) -> Option<Rc<str>> {
+        match msg {
+            DiffMsg::Exploratory { item, .. } => {
+                Some(Rc::from(join_lineage([Self::item_lineage(item)])))
+            }
+            DiffMsg::Data { items, .. } => {
+                Some(Rc::from(join_lineage(items.iter().map(Self::item_lineage))))
+            }
+            _ => None,
+        }
+    }
+
     fn send_now(
         &mut self,
         ctx: &mut Ctx<'_, DiffMsg, DiffTimer>,
@@ -183,9 +209,14 @@ impl DiffusionNode {
     ) {
         let bytes = msg.wire_bytes(&self.cfg);
         self.counters.count_sent(msg.kind());
+        let lineage = if ctx.trace_enabled() {
+            Self::msg_lineage(&msg)
+        } else {
+            None
+        };
         match dst {
-            None => ctx.broadcast(bytes, msg),
-            Some(n) => ctx.unicast(n, bytes, msg),
+            None => ctx.broadcast_with_lineage(bytes, msg, lineage),
+            Some(n) => ctx.unicast_with_lineage(n, bytes, msg, lineage),
         }
     }
 
@@ -295,6 +326,13 @@ impl DiffusionNode {
         };
         self.last_seen_source.insert(self.me, now);
         self.events_generated += 1;
+        if ctx.trace_enabled() {
+            ctx.trace(TraceRecord::EventGen {
+                t_ns: now.as_nanos(),
+                node: self.me.0,
+                seq: round,
+            });
+        }
         let exploratory = round.is_multiple_of(self.cfg.rounds_per_exploratory());
         if exploratory {
             let id = MsgId {
@@ -391,18 +429,30 @@ impl DiffusionNode {
             return;
         };
         if ctx.trace_enabled() {
-            ctx.trace(wsn_trace::TraceRecord::AggMerge {
+            ctx.trace(TraceRecord::AggMerge {
                 t_ns: ctx.now().as_nanos(),
                 node: self.me.0,
                 inputs: inputs as u32,
                 items: out.items.len() as u32,
                 cost: out.cost,
+                lineage: join_lineage(out.items.iter().map(Self::item_lineage)),
             });
         }
         let now = ctx.now();
         let downstream = self.gradients.data_neighbors(now);
         if downstream.is_empty() {
             self.counters.items_dropped_no_gradient += out.items.len() as u64;
+            if ctx.trace_enabled() {
+                for item in &out.items {
+                    ctx.trace(TraceRecord::ItemDrop {
+                        t_ns: now.as_nanos(),
+                        node: self.me.0,
+                        src: item.source.0,
+                        seq: item.round,
+                        reason: DropReason::NoRoute,
+                    });
+                }
+            }
             return;
         }
         for n in downstream {
@@ -433,9 +483,30 @@ impl DiffusionNode {
                 new_items.push(*item);
                 if self.role.is_sink {
                     self.sink.record_distinct(item, now);
+                    if ctx.trace_enabled() {
+                        ctx.trace(TraceRecord::EventDeliver {
+                            t_ns: now.as_nanos(),
+                            node: self.me.0,
+                            src: item.source.0,
+                            seq: item.round,
+                            gen_ns: item.generated.as_nanos(),
+                        });
+                    }
                 }
-            } else if self.role.is_sink {
-                self.sink.record_duplicate();
+            } else {
+                if self.role.is_sink {
+                    self.sink.record_duplicate();
+                }
+                // The copy goes no further here: the dedup cache absorbed it.
+                if ctx.trace_enabled() {
+                    ctx.trace(TraceRecord::ItemDrop {
+                        t_ns: now.as_nanos(),
+                        node: self.me.0,
+                        src: item.source.0,
+                        seq: item.round,
+                        reason: DropReason::CacheSuppressed,
+                    });
+                }
             }
         }
         self.window.record(WindowEntry {
@@ -476,6 +547,16 @@ impl DiffusionNode {
         let now = ctx.now();
         let first = self.expl.record_exploratory(id, item, from, energy, now);
         if !first {
+            // Duplicate exploratory copy: the cache suppresses the re-flood.
+            if ctx.trace_enabled() {
+                ctx.trace(TraceRecord::ItemDrop {
+                    t_ns: now.as_nanos(),
+                    node: self.me.0,
+                    src: item.source.0,
+                    seq: item.round,
+                    reason: DropReason::CacheSuppressed,
+                });
+            }
             return;
         }
         self.last_expl = Some(id);
@@ -490,6 +571,15 @@ impl DiffusionNode {
         if self.role.is_sink {
             if self.seen_items.insert(item.key()) {
                 self.sink.record_distinct(&item, now);
+                if ctx.trace_enabled() {
+                    ctx.trace(TraceRecord::EventDeliver {
+                        t_ns: now.as_nanos(),
+                        node: self.me.0,
+                        src: item.source.0,
+                        seq: item.round,
+                        gen_ns: item.generated.as_nanos(),
+                    });
+                }
             } else {
                 self.sink.record_duplicate();
             }
@@ -903,6 +993,22 @@ impl Protocol for DiffusionNode {
         to: NodeId,
         msg: &DiffMsg,
     ) {
+        // An abandoned data frame loses its items on this path (neighbors
+        // that got them via another branch still forward their copies).
+        if ctx.trace_enabled() {
+            if let DiffMsg::Data { items, .. } = msg {
+                let t_ns = ctx.now().as_nanos();
+                for item in items {
+                    ctx.trace(TraceRecord::ItemDrop {
+                        t_ns,
+                        node: self.me.0,
+                        src: item.source.0,
+                        seq: item.round,
+                        reason: DropReason::RetryLimit,
+                    });
+                }
+            }
+        }
         // The MAC exhausted its retries. One exhausted ARQ can be collision
         // bad luck under a flood burst; a *second* consecutive failure with
         // nothing heard from the neighbor in between means the link is dead.

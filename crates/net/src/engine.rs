@@ -22,8 +22,10 @@
 use std::collections::{HashSet, VecDeque};
 use std::rc::Rc;
 
-use wsn_sim::{EventId, RunAccounting, SimDuration, SimRng, SimTime, Simulator};
-use wsn_trace::{SharedSink, TraceRecord};
+use wsn_sim::{
+    EventId, ProfileEntry, RunAccounting, SharedProfile, SimDuration, SimRng, SimTime, Simulator,
+};
+use wsn_trace::{DropReason, SharedSink, TraceRecord};
 
 use crate::config::NetConfig;
 use crate::energy::{EnergyMeter, RadioState};
@@ -65,6 +67,47 @@ enum Ev<T> {
     /// Periodic per-node telemetry snapshot (only scheduled while a trace
     /// sink with a snapshot cadence is installed).
     Snapshot,
+}
+
+/// Event-type labels the dispatch profiler buckets by, indexed by
+/// [`Ev::label_ix`].
+const EV_LABELS: [&str; 10] = [
+    "backoff_done",
+    "tx_end",
+    "ack_due",
+    "cts_due",
+    "data_due",
+    "ack_timeout",
+    "timer",
+    "node_down",
+    "node_up",
+    "snapshot",
+];
+
+/// One dispatch in this many opens a wall-clock profiling span; see
+/// [`Network::dispatch`]. Dispatch counts stay exact — only the time
+/// measurement is sampled (and scaled back up at merge), keeping the
+/// profiler's clock-read cost well below the cost of dispatch itself.
+const PROFILE_SAMPLE: u32 = 8;
+
+impl<T> Ev<T> {
+    /// The event type's [`EV_LABELS`] bucket index — a plain discriminant
+    /// map so the dispatch hot path indexes a fixed array instead of
+    /// hashing or scanning label strings.
+    fn label_ix(&self) -> usize {
+        match self {
+            Ev::BackoffDone { .. } => 0,
+            Ev::TxEnd { .. } => 1,
+            Ev::AckDue { .. } => 2,
+            Ev::CtsDue { .. } => 3,
+            Ev::DataDue { .. } => 4,
+            Ev::AckTimeout { .. } => 5,
+            Ev::Timer { .. } => 6,
+            Ev::NodeDown { .. } => 7,
+            Ev::NodeUp { .. } => 8,
+            Ev::Snapshot => 9,
+        }
+    }
 }
 
 /// What a transmission carries.
@@ -112,6 +155,16 @@ impl<M> Frame<M> {
         match self {
             Frame::Payload(p) => p.dst.map(|d| d.0),
             Frame::Ack { to, .. } | Frame::Rts { to } | Frame::Cts { to } => Some(to.0),
+        }
+    }
+
+    /// The payload's lineage stamp, re-encoded for a trace record. Only
+    /// payloads of traced runs carry one, so this allocates nothing on
+    /// untraced paths.
+    fn trace_lineage(&self) -> Option<String> {
+        match self {
+            Frame::Payload(p) => p.lineage.as_deref().map(str::to_string),
+            _ => None,
         }
     }
 }
@@ -401,9 +454,19 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> EngineCore<M, T> {
             self.emit(TraceRecord::PacketDrop {
                 t_ns: self.sim.now().as_nanos(),
                 node: node.0,
-                reason: "node_down",
+                reason: DropReason::NodeDown,
+                tx: None,
             });
             return;
+        }
+        if self.trace_enabled() {
+            self.emit(TraceRecord::MacEnqueue {
+                t_ns: self.sim.now().as_nanos(),
+                node: node.0,
+                bytes: packet.bytes,
+                dst: packet.dst.map(|d| d.0),
+                lineage: packet.lineage.as_deref().map(str::to_string),
+            });
         }
         self.nodes[i]
             .queue
@@ -517,7 +580,8 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> EngineCore<M, T> {
         if node.transmitting.is_some() {
             // Radio seized (we owed someone an ACK): fall back to a retry.
             let a = self.nodes[i].awaiting.take().expect("checked above");
-            return self.requeue_or_fail_inner(i, a.queued, None);
+            let last_tx = a.tx;
+            return self.requeue_or_fail_inner(i, a.queued, Some(last_tx));
         }
         let mut a = self.nodes[i].awaiting.take().expect("checked above");
         let bytes = a.queued.packet.bytes;
@@ -540,11 +604,13 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> EngineCore<M, T> {
 
     /// Retry bookkeeping shared by CTS/ACK timeouts and turnaround aborts.
     /// Returns the abandoned packet when the retry limit is exhausted.
+    /// `last_tx` is the transmission whose response never came, so the
+    /// trace's drop record can name the attempt it gave up on.
     fn requeue_or_fail_inner(
         &mut self,
         i: usize,
         mut queued: QueuedFrame<M>,
-        _ctx: Option<()>,
+        last_tx: Option<TxId>,
     ) -> Option<Packet<M>> {
         let mut failed = None;
         if queued.retries < self.cfg.retry_limit {
@@ -556,7 +622,8 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> EngineCore<M, T> {
             self.emit(TraceRecord::PacketDrop {
                 t_ns: self.sim.now().as_nanos(),
                 node: i as u32,
-                reason: "retry_limit",
+                reason: DropReason::RetryLimit,
+                tx: last_tx.map(|t| t.0),
             });
             failed = Some(queued.packet);
         }
@@ -572,16 +639,20 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> EngineCore<M, T> {
         let tx = TxId(self.next_tx);
         self.next_tx += 1;
         let trace = self.trace.clone();
-        emit_to(
-            &trace,
-            TraceRecord::PacketTx {
-                t_ns,
-                node: i as u32,
-                kind: frame.kind(),
-                bytes,
-                dst: frame.trace_dst(),
-            },
-        );
+        if trace.is_some() {
+            emit_to(
+                &trace,
+                TraceRecord::PacketTx {
+                    t_ns,
+                    node: i as u32,
+                    tx: tx.0,
+                    kind: frame.kind(),
+                    bytes,
+                    dst: frame.trace_dst(),
+                    lineage: frame.trace_lineage(),
+                },
+            );
+        }
         let node = &mut self.nodes[i];
         debug_assert!(node.transmitting.is_none(), "radio already busy");
         node.transmitting = Some(tx);
@@ -666,7 +737,8 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> EngineCore<M, T> {
                         TraceRecord::PacketDrop {
                             t_ns,
                             node: v.0,
-                            reason: "collision",
+                            reason: DropReason::Collision,
+                            tx: Some(tx.0),
                         },
                     );
                 } else if vn.up {
@@ -680,6 +752,7 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> EngineCore<M, T> {
                                         t_ns,
                                         node: v.0,
                                         from: sender.0,
+                                        tx: tx.0,
                                         bytes: pkt.bytes,
                                     },
                                 );
@@ -700,6 +773,7 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> EngineCore<M, T> {
                                         t_ns,
                                         node: v.0,
                                         from: sender.0,
+                                        tx: tx.0,
                                         bytes: pkt.bytes,
                                     },
                                 );
@@ -797,7 +871,8 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> EngineCore<M, T> {
             return None; // already answered (or state cleared by a failure)
         }
         let a = self.nodes[i].awaiting.take().expect("just matched");
-        self.requeue_or_fail_inner(i, a.queued, None)
+        let last_tx = a.tx;
+        self.requeue_or_fail_inner(i, a.queued, Some(last_tx))
     }
 
     fn apply_down(&mut self, i: usize) -> bool {
@@ -934,6 +1009,23 @@ pub struct Network<P: Protocol> {
     core: EngineCore<P::Msg, P::Timer>,
     protocols: Vec<P>,
     started: bool,
+    /// The installed dispatch profiler, if any. `None` keeps the dispatch
+    /// loop free of `Instant` reads.
+    profile: Option<SharedProfile>,
+    /// The label index and start instant of the currently open *sampled*
+    /// span (one dispatch in [`PROFILE_SAMPLE`] opens one) — closed by the
+    /// next dispatch or by `profile_close` at run-loop exit.
+    profile_pending: Option<(usize, std::time::Instant)>,
+    /// Dispatches seen while profiling, for the sampling decision.
+    profile_tick: u32,
+    /// Hot-path profile accumulator, indexed by [`Ev::label_ix`]: exact
+    /// counts and sampled span times land here with one array index, no
+    /// shared-handle traffic, and `profile_close` drains it (scaling the
+    /// sampled times) into `profile` at every run-loop exit.
+    profile_cells: [ProfileEntry; EV_LABELS.len()],
+    /// How many of each cell's spans were actually clocked — the
+    /// scale-back-up denominator at merge time.
+    profile_sampled: [u64; EV_LABELS.len()],
 }
 
 impl<P: Protocol> Network<P> {
@@ -953,7 +1045,25 @@ impl<P: Protocol> Network<P> {
             core,
             protocols,
             started: false,
+            profile: None,
+            profile_pending: None,
+            profile_tick: 0,
+            profile_cells: [ProfileEntry::default(); EV_LABELS.len()],
+            profile_sampled: [0; EV_LABELS.len()],
         }
+    }
+
+    /// Installs a dispatch profiler: every subsequent event dispatch is
+    /// counted exactly, and one in [`PROFILE_SAMPLE`] is timed (wall
+    /// clock), bucketed by event type in `sink` with the sampled time
+    /// scaled back up to an estimate of the label's total.
+    ///
+    /// Profiling is observational only — it cannot change the event
+    /// sequence — but its measurements are wall-clock and therefore not
+    /// deterministic, so callers must keep profile data out of byte-stable
+    /// artifacts (see [`wsn_sim::ProfileSink`]).
+    pub fn set_profile(&mut self, sink: SharedProfile) {
+        self.profile = Some(sink);
     }
 
     /// The current simulated time.
@@ -1085,6 +1195,12 @@ impl<P: Protocol> Network<P> {
                 self.protocols[i].on_start(&mut ctx);
             }
         }
+        let result = self.run_loop(deadline, max_events);
+        self.profile_close();
+        result
+    }
+
+    fn run_loop(&mut self, deadline: SimTime, max_events: u64) -> Result<(), EventBudgetExceeded> {
         loop {
             if self.core.sim.events_processed() >= max_events {
                 match self.core.sim.peek_time() {
@@ -1202,6 +1318,66 @@ impl<P: Protocol> Network<P> {
     }
 
     fn dispatch(&mut self, id: EventId, ev: Ev<P::Timer>) {
+        // One branch and zero clock reads when profiling is off. When it is
+        // on, every dispatch pays one array add for its exact per-label
+        // count, but only one in PROFILE_SAMPLE opens a wall-clock span.
+        // The span closes at the start of the following dispatch (or at
+        // run-loop exit, see `profile_close`), so scheduler pop time
+        // between the pair is attributed to the sampled event, and the
+        // steady-state cost is two `Instant` reads per PROFILE_SAMPLE
+        // dispatches.
+        if self.profile.is_some() {
+            let ix = ev.label_ix();
+            self.profile_cells[ix].count += 1;
+            if let Some((prev, t0)) = self.profile_pending.take() {
+                let ns = t0.elapsed().as_nanos() as u64;
+                self.profile_sampled[prev] += 1;
+                let e = &mut self.profile_cells[prev];
+                e.total_ns += ns;
+                e.max_ns = e.max_ns.max(ns);
+            }
+            self.profile_tick = self.profile_tick.wrapping_add(1);
+            if self.profile_tick % PROFILE_SAMPLE == 1 {
+                self.profile_pending = Some((ix, std::time::Instant::now()));
+            }
+        }
+        self.dispatch_inner(id, ev);
+    }
+
+    /// Closes any still-open sampled span and merges the hot-path
+    /// accumulator into the shared sink, scaling each label's sampled span
+    /// time up by its exact/sampled dispatch-count ratio. Called at every
+    /// run-loop exit so each `run_until` call leaves the shared profile
+    /// complete. A label dispatched only a handful of times may have no
+    /// clocked span at all; it merges with its exact count and zero time
+    /// (below the sampler's resolution).
+    fn profile_close(&mut self) {
+        if let Some((ix, t0)) = self.profile_pending.take() {
+            let ns = t0.elapsed().as_nanos() as u64;
+            self.profile_sampled[ix] += 1;
+            let e = &mut self.profile_cells[ix];
+            e.total_ns += ns;
+            e.max_ns = e.max_ns.max(ns);
+        }
+        if let Some(profile) = &self.profile {
+            let mut sink = profile.borrow_mut();
+            for (ix, e) in self.profile_cells.iter().enumerate() {
+                if e.count > 0 {
+                    let mut scaled = *e;
+                    let sampled = self.profile_sampled[ix];
+                    if sampled > 0 {
+                        scaled.total_ns = ((u128::from(e.total_ns) * u128::from(e.count))
+                            / u128::from(sampled)) as u64;
+                    }
+                    sink.merge(EV_LABELS[ix], scaled);
+                }
+            }
+            self.profile_cells = [ProfileEntry::default(); EV_LABELS.len()];
+            self.profile_sampled = [0; EV_LABELS.len()];
+        }
+    }
+
+    fn dispatch_inner(&mut self, id: EventId, ev: Ev<P::Timer>) {
         match ev {
             Ev::BackoffDone { node } => self.core.on_backoff_done(node.index()),
             Ev::TxEnd { node, tx } => {

@@ -1,5 +1,7 @@
 //! Frames on the air.
 
+use std::rc::Rc;
+
 use crate::node::NodeId;
 
 /// A frame as transmitted by the MAC.
@@ -16,6 +18,12 @@ pub struct Packet<M> {
     pub dst: Option<NodeId>,
     /// Frame size in bytes, which determines air time and hence energy.
     pub bytes: u32,
+    /// Lineage ids the payload carries, pre-encoded in the trace wire form
+    /// (comma-joined `src#seq`). Only stamped when a trace sink is
+    /// installed — `None` on untraced runs, so the hot path never pays for
+    /// the encoding. Carried as `Rc<str>` so requeues and retries share
+    /// one allocation.
+    pub lineage: Option<Rc<str>>,
     /// The protocol-level message.
     pub payload: M,
 }
@@ -27,6 +35,7 @@ impl<M> Packet<M> {
             from,
             dst: None,
             bytes,
+            lineage: None,
             payload,
         }
     }
@@ -37,8 +46,15 @@ impl<M> Packet<M> {
             from,
             dst: Some(to),
             bytes,
+            lineage: None,
             payload,
         }
+    }
+
+    /// Stamps the packet with pre-encoded lineage ids.
+    pub fn with_lineage(mut self, lineage: Option<Rc<str>>) -> Self {
+        self.lineage = lineage;
+        self
     }
 
     /// Whether `node` should process this packet.

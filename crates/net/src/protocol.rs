@@ -112,6 +112,33 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> Ctx<'_, M, T> {
         self.core.enqueue(self.node, pkt);
     }
 
+    /// [`Ctx::broadcast`] with a lineage stamp: the pre-encoded lineage ids
+    /// ride the frame into the trace's `enq`/`tx` records. Pass `None` (or
+    /// just use `broadcast`) when tracing is off — see
+    /// [`Ctx::trace_enabled`].
+    pub fn broadcast_with_lineage(
+        &mut self,
+        bytes: u32,
+        msg: M,
+        lineage: Option<std::rc::Rc<str>>,
+    ) {
+        let pkt = Packet::broadcast(self.node, bytes, msg).with_lineage(lineage);
+        self.core.enqueue(self.node, pkt);
+    }
+
+    /// [`Ctx::unicast`] with a lineage stamp (see
+    /// [`Ctx::broadcast_with_lineage`]).
+    pub fn unicast_with_lineage(
+        &mut self,
+        to: NodeId,
+        bytes: u32,
+        msg: M,
+        lineage: Option<std::rc::Rc<str>>,
+    ) {
+        let pkt = Packet::unicast(self.node, to, bytes, msg).with_lineage(lineage);
+        self.core.enqueue(self.node, pkt);
+    }
+
     /// Arms a timer that fires `delay` from now with the given label.
     pub fn set_timer(&mut self, delay: SimDuration, timer: T) -> TimerHandle {
         self.core.set_timer(self.node, delay, timer)

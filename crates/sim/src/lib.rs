@@ -42,11 +42,13 @@
 #![warn(missing_docs)]
 
 mod event;
+mod profile;
 mod rng;
 mod sched;
 mod time;
 
 pub use event::{EventId, EventQueue};
+pub use profile::{shared_profile, ProfileEntry, ProfileSink, SharedProfile};
 pub use rng::{splitmix64, SimRng};
 pub use sched::{RunAccounting, SchedulePastError, Simulator};
 pub use time::{SimDuration, SimTime};

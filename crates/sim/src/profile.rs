@@ -1,0 +1,176 @@
+//! Cheap wall-clock dispatch profiling.
+//!
+//! A [`ProfileSink`] accumulates per-label `(count, total, max)` wall-clock
+//! histograms of event dispatch. It exists to answer "where does the
+//! events-per-second budget go?" before attempting perf work, so its own
+//! overhead must stay negligible: recording is a pointer-identity scan over
+//! the handful of known `&'static str` labels plus three integer updates,
+//! and engines that hold an `Option<SharedProfile>` skip even the `Instant`
+//! reads when it is `None` (profiling is strictly opt-in).
+//!
+//! Wall-clock values are *not* deterministic — two identical runs measure
+//! different nanoseconds — so profile data never feeds back into the
+//! simulation and is only surfaced through explicitly profile-aware outputs
+//! (`--profile` flags, `profile` trace records), keeping default traces
+//! byte-identical.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One per-label histogram cell.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProfileEntry {
+    /// Dispatches recorded under this label.
+    pub count: u64,
+    /// Total wall-clock nanoseconds.
+    pub total_ns: u64,
+    /// The single slowest dispatch, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Accumulates per-event-type dispatch cost.
+///
+/// Stored as a small vec of `(&'static str, entry)` rows kept sorted by
+/// label content, so iteration — and therefore every report built from it —
+/// is in stable label order regardless of dispatch interleaving. Lookups
+/// scan with pointer identity first: event-type labels are interned string
+/// literals, so the scan is a handful of pointer compares on the hot path,
+/// with a content-compare insertion only on each label's first sighting.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileSink {
+    entries: Vec<(&'static str, ProfileEntry)>,
+}
+
+impl ProfileSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        ProfileSink::default()
+    }
+
+    /// Records one dispatch of `label` that took `elapsed_ns` wall-clock
+    /// nanoseconds.
+    pub fn record(&mut self, label: &'static str, elapsed_ns: u64) {
+        for (l, e) in &mut self.entries {
+            if std::ptr::eq(*l, label) {
+                e.count += 1;
+                e.total_ns += elapsed_ns;
+                e.max_ns = e.max_ns.max(elapsed_ns);
+                return;
+            }
+        }
+        // First sighting of this pointer: fall back to content comparison
+        // (a content-equal label can arrive under a second pointer) and
+        // keep the rows label-sorted.
+        match self.entries.binary_search_by(|(l, _)| (*l).cmp(label)) {
+            Ok(i) => {
+                let e = &mut self.entries[i].1;
+                e.count += 1;
+                e.total_ns += elapsed_ns;
+                e.max_ns = e.max_ns.max(elapsed_ns);
+            }
+            Err(i) => self.entries.insert(
+                i,
+                (
+                    label,
+                    ProfileEntry {
+                        count: 1,
+                        total_ns: elapsed_ns,
+                        max_ns: elapsed_ns,
+                    },
+                ),
+            ),
+        }
+    }
+
+    /// Folds one whole histogram cell into `label`'s row (counts and totals
+    /// add, maxima combine). Lets an engine accumulate into a private
+    /// fixed-size array on the hot path and merge at run-loop exit.
+    pub fn merge(&mut self, label: &'static str, e: ProfileEntry) {
+        match self.entries.binary_search_by(|(l, _)| (*l).cmp(label)) {
+            Ok(i) => {
+                let mine = &mut self.entries[i].1;
+                mine.count += e.count;
+                mine.total_ns += e.total_ns;
+                mine.max_ns = mine.max_ns.max(e.max_ns);
+            }
+            Err(i) => self.entries.insert(i, (label, e)),
+        }
+    }
+
+    /// Folds every row of `other` into this sink via [`merge`](Self::merge).
+    pub fn absorb(&mut self, other: &ProfileSink) {
+        for (label, e) in other.entries() {
+            self.merge(label, *e);
+        }
+    }
+
+    /// The accumulated `(label, entry)` rows, in label order.
+    pub fn entries(&self) -> impl Iterator<Item = (&'static str, &ProfileEntry)> {
+        self.entries.iter().map(|(l, e)| (*l, e))
+    }
+
+    /// Dispatches recorded across all labels.
+    pub fn total_count(&self) -> u64 {
+        self.entries.iter().map(|(_, e)| e.count).sum()
+    }
+
+    /// Wall-clock nanoseconds recorded across all labels.
+    pub fn total_ns(&self) -> u64 {
+        self.entries.iter().map(|(_, e)| e.total_ns).sum()
+    }
+
+    /// The hottest label by total time (ties break toward the
+    /// lexicographically smaller label), if anything was recorded.
+    pub fn hottest(&self) -> Option<(&'static str, &ProfileEntry)> {
+        self.entries()
+            .max_by(|a, b| a.1.total_ns.cmp(&b.1.total_ns).then(b.0.cmp(a.0)))
+    }
+}
+
+/// The shared, single-threaded profile handle instrumented engines hold
+/// (simulation runs are single-threaded; parallelism lives in the job
+/// runner, which gives each job its own sink).
+pub type SharedProfile = Rc<RefCell<ProfileSink>>;
+
+/// Wraps a sink in the [`SharedProfile`] handle engines expect.
+pub fn shared_profile(sink: ProfileSink) -> SharedProfile {
+    Rc::new(RefCell::new(sink))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_count_total_and_max() {
+        let mut p = ProfileSink::new();
+        p.record("tx_end", 10);
+        p.record("tx_end", 30);
+        p.record("timer", 5);
+        let rows: Vec<_> = p.entries().collect();
+        assert_eq!(rows.len(), 2);
+        let (label, e) = rows[1];
+        assert_eq!(label, "tx_end");
+        assert_eq!((e.count, e.total_ns, e.max_ns), (2, 40, 30));
+        assert_eq!(p.total_count(), 3);
+        assert_eq!(p.total_ns(), 45);
+        assert_eq!(p.hottest().unwrap().0, "tx_end");
+    }
+
+    #[test]
+    fn iteration_is_label_sorted() {
+        let mut p = ProfileSink::new();
+        p.record("zz", 1);
+        p.record("aa", 1);
+        let labels: Vec<_> = p.entries().map(|(l, _)| l).collect();
+        assert_eq!(labels, vec!["aa", "zz"]);
+    }
+
+    #[test]
+    fn hottest_ties_break_to_smaller_label() {
+        let mut p = ProfileSink::new();
+        p.record("b_ev", 10);
+        p.record("a_ev", 10);
+        assert_eq!(p.hottest().unwrap().0, "a_ev");
+    }
+}

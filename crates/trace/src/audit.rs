@@ -1,0 +1,771 @@
+//! Replaying a trace and checking its conservation invariants.
+//!
+//! A schema-v2 trace is a *self-verifying artifact*: it carries both the
+//! raw causal record (transmissions, receptions, losses, lineage births
+//! and deaths, energy debits) and the metrics the run reported (`metrics`
+//! and `run_end` lines). The [`Auditor`] replays the record and checks that
+//! the two agree:
+//!
+//! 1. **Framing** — exactly one `run_start` (first) with the current
+//!    [`crate::SCHEMA_VERSION`], exactly one `run_end` (last), and — when
+//!    dispatch records were enabled — a dispatch count equal to the
+//!    `run_end` event count.
+//! 2. **Rx ⇔ tx pairing** — every reception (and every collision /
+//!    retry-limit drop that names a transmission) refers to a transmission
+//!    already on the air, from the sender the record claims, with the same
+//!    byte count, strictly after the transmission started.
+//! 3. **Energy conservation** — per-node debits, summed per state in
+//!    [`crate::ENERGY_STATES`] order and then across nodes in node order,
+//!    must equal the `run_end` total *bit for bit* (the emission path
+//!    mirrors the meter's bucket arithmetic exactly), and reconcile with
+//!    the harvested `metrics` total to 1 nJ (the harvest happens before the
+//!    final partial intervals fold into their buckets, which can perturb
+//!    the association order of the sum by an ulp).
+//! 4. **Lineage conservation** — every `deliver` names a lineage id that
+//!    was born in an `event_gen` line (with the matching generation time),
+//!    no `(sink, id)` pair delivers twice, and the lineage-recomputed
+//!    generated count, distinct count, delay sum, delivery ratio, and
+//!    average delay *exactly* equal the reported metrics.
+//!
+//! The checks recompute floating-point quantities in the same association
+//! order the simulator used (see `DESIGN.md` §13), which is what makes
+//! exact — not approximate — comparison possible.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::parse::parse_line;
+use crate::record::{DropReason, ENERGY_STATES, SCHEMA_VERSION};
+
+/// How far apart the debit sum and the harvested `metrics` energy total may
+/// drift (the harvest precedes the final interval close-out; see module
+/// docs). One nanojoule is ~9 orders of magnitude above the observed ulp.
+pub const ENERGY_DRIFT_TOLERANCE_J: f64 = 1e-9;
+
+/// One broken invariant found while replaying a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// The trace's run framing is broken (missing/duplicated/misplaced
+    /// `run_start`/`run_end`, wrong schema version).
+    Framing(String),
+    /// A reception or drop does not pair with the transmission it names.
+    TxPairing {
+        /// Simulated time of the offending record, nanoseconds.
+        t_ns: u64,
+        /// The node the offending record belongs to.
+        node: u32,
+        /// The transmission id the record names.
+        tx: u64,
+        /// What about the pairing is broken.
+        detail: String,
+    },
+    /// Summed energy debits disagree with a reported total.
+    Energy {
+        /// Which total the debits were compared against.
+        against: &'static str,
+        /// The per-state, per-node debit sum, joules.
+        debited: f64,
+        /// The total the trace reported, joules.
+        reported: f64,
+    },
+    /// A lineage id is used before birth, twice, or inconsistently.
+    Lineage(String),
+    /// A lineage-recomputed count disagrees with the reported metrics.
+    Count {
+        /// Which counter disagrees.
+        what: &'static str,
+        /// The value recomputed from the causal record.
+        recomputed: u64,
+        /// The value the `metrics`/`run_end` line reported.
+        reported: u64,
+    },
+    /// A lineage-recomputed metric disagrees with the reported metrics
+    /// (comparison is exact: same inputs, same association order).
+    Metric {
+        /// Which metric disagrees.
+        what: &'static str,
+        /// The value recomputed from the causal record.
+        recomputed: f64,
+        /// The value derived from the `metrics` line.
+        reported: f64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Framing(msg) => write!(f, "framing: {msg}"),
+            Violation::TxPairing {
+                t_ns,
+                node,
+                tx,
+                detail,
+            } => write!(f, "tx-pairing: t_ns={t_ns} node={node} tx={tx}: {detail}"),
+            Violation::Energy {
+                against,
+                debited,
+                reported,
+            } => write!(
+                f,
+                "energy: debit sum {debited} vs {against} {reported} (diff {:e})",
+                debited - reported
+            ),
+            Violation::Lineage(msg) => write!(f, "lineage: {msg}"),
+            Violation::Count {
+                what,
+                recomputed,
+                reported,
+            } => write!(
+                f,
+                "count: {what} recomputed {recomputed} vs reported {reported}"
+            ),
+            Violation::Metric {
+                what,
+                recomputed,
+                reported,
+            } => write!(
+                f,
+                "metric: {what} recomputed {recomputed} vs reported {reported}"
+            ),
+        }
+    }
+}
+
+/// A transmission seen on the air, kept for rx/drop pairing.
+#[derive(Debug, Clone, Copy)]
+struct TxInfo {
+    node: u32,
+    bytes: u32,
+    t_ns: u64,
+}
+
+/// The reported `metrics` line, as parsed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReportedMetrics {
+    /// Events generated across all sources.
+    pub generated: u64,
+    /// Distinct events delivered, summed over sinks.
+    pub distinct: u64,
+    /// Sum of per-event delivery delays over all sinks, seconds.
+    pub delay_sum_s: f64,
+    /// Number of sinks in the scenario.
+    pub sinks: u32,
+    /// Total energy as harvested into the run record, joules.
+    pub total_energy_j: f64,
+}
+
+/// The outcome of auditing one trace.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Lines consumed (including unparsable ones).
+    pub lines: u64,
+    /// Lines that did not parse as trace records.
+    pub skipped_lines: u64,
+    /// Transmissions replayed.
+    pub tx: u64,
+    /// Receptions replayed (each paired with its transmission).
+    pub rx: u64,
+    /// Frame drops replayed, per [`DropReason`] wire label.
+    pub frame_drops: BTreeMap<&'static str, u64>,
+    /// Item drops replayed, per [`DropReason`] wire label.
+    pub item_drops: BTreeMap<&'static str, u64>,
+    /// Lineage ids born (`event_gen` lines).
+    pub generated: u64,
+    /// Deliveries replayed (`deliver` lines).
+    pub delivered: u64,
+    /// The per-state, per-node energy debit sum, joules.
+    pub debited_j: f64,
+    /// The reported `metrics` line, when the trace carried one.
+    pub metrics: Option<ReportedMetrics>,
+    /// Every broken invariant, in replay order.
+    pub violations: Vec<Violation>,
+}
+
+impl AuditReport {
+    /// Whether the trace upheld every invariant.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Renders the audit verdict as a short human-readable block.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "lines {} (skipped {}), tx {}, rx {}, generated {}, delivered {}",
+            self.lines, self.skipped_lines, self.tx, self.rx, self.generated, self.delivered
+        );
+        let frame: u64 = self.frame_drops.values().sum();
+        let item: u64 = self.item_drops.values().sum();
+        let _ = writeln!(out, "frame drops {frame}, item drops {item}:");
+        for reason in DropReason::ALL {
+            let f = self.frame_drops.get(reason.name()).copied().unwrap_or(0);
+            let i = self.item_drops.get(reason.name()).copied().unwrap_or(0);
+            if f > 0 || i > 0 {
+                let _ = writeln!(out, "  {:<18} frames {f:>8}  items {i:>8}", reason.name());
+            }
+        }
+        let _ = writeln!(out, "debited energy {:.9} J", self.debited_j);
+        if self.ok() {
+            let _ = writeln!(out, "verdict: OK (0 violations)");
+        } else {
+            let _ = writeln!(out, "verdict: {} violation(s)", self.violations.len());
+            for v in &self.violations {
+                let _ = writeln!(out, "  VIOLATION {v}");
+            }
+        }
+        out
+    }
+}
+
+/// Streaming trace auditor: feed lines, then [`Auditor::finish`].
+#[derive(Debug, Default)]
+pub struct Auditor {
+    report: AuditReport,
+    saw_run_start: bool,
+    run_end: Option<(u64, f64)>,
+    records_after_end: u64,
+    dispatches: u64,
+    /// Transmissions on the air, by tx id.
+    txs: HashMap<u64, TxInfo>,
+    /// Birth time of each lineage id, keyed `(src, seq)`.
+    births: HashMap<(u32, u32), u64>,
+    /// Delivered `(sink, src, seq)` triples (for duplicate detection).
+    deliveries: HashMap<(u32, u32, u32), u64>,
+    /// Per-sink delay sums, accumulated in arrival order (the same
+    /// association order `SinkStats` used), keyed by sink node id.
+    sink_delay_s: BTreeMap<u32, f64>,
+    /// Per-node, per-state debit sums in [`ENERGY_STATES`] order.
+    node_energy: BTreeMap<u32, [f64; 4]>,
+}
+
+impl Auditor {
+    /// A fresh auditor.
+    pub fn new() -> Self {
+        Auditor::default()
+    }
+
+    /// Replays one NDJSON line.
+    pub fn add_line(&mut self, line: &str) {
+        if line.trim().is_empty() {
+            return;
+        }
+        self.report.lines += 1;
+        let Some(p) = parse_line(line) else {
+            self.report.skipped_lines += 1;
+            return;
+        };
+        let Some(tag) = p.tag() else {
+            self.report.skipped_lines += 1;
+            return;
+        };
+        if !self.saw_run_start && tag != "run_start" {
+            self.violation(Violation::Framing(format!(
+                "first record is {tag:?}, expected run_start"
+            )));
+            self.saw_run_start = true; // report the misplacement once
+        }
+        if self.run_end.is_some() {
+            self.records_after_end += 1;
+        }
+        let t_ns = p.u64_field("t_ns").unwrap_or(0);
+        let node = p.u32_field("node").unwrap_or(0);
+        match tag {
+            "run_start" => {
+                if self.saw_run_start {
+                    self.violation(Violation::Framing("duplicate run_start".into()));
+                }
+                self.saw_run_start = true;
+                match p.u64_field("v") {
+                    Some(v) if v == u64::from(SCHEMA_VERSION) => {}
+                    v => self.violation(Violation::Framing(format!(
+                        "schema version {v:?}, expected {SCHEMA_VERSION}"
+                    ))),
+                }
+            }
+            "dispatch" => self.dispatches += 1,
+            "tx" => {
+                self.report.tx += 1;
+                if let Some(tx) = p.u64_field("tx") {
+                    self.txs.insert(
+                        tx,
+                        TxInfo {
+                            node,
+                            bytes: p.u32_field("bytes").unwrap_or(0),
+                            t_ns,
+                        },
+                    );
+                } else {
+                    self.violation(Violation::TxPairing {
+                        t_ns,
+                        node,
+                        tx: 0,
+                        detail: "tx record without a tx id".into(),
+                    });
+                }
+            }
+            "rx" => {
+                self.report.rx += 1;
+                let tx = p.u64_field("tx").unwrap_or(u64::MAX);
+                match self.txs.get(&tx).copied() {
+                    None => self.violation(Violation::TxPairing {
+                        t_ns,
+                        node,
+                        tx,
+                        detail: "rx names a transmission never put on the air".into(),
+                    }),
+                    Some(info) => {
+                        if p.u32_field("from") != Some(info.node) {
+                            self.violation(Violation::TxPairing {
+                                t_ns,
+                                node,
+                                tx,
+                                detail: format!(
+                                    "rx claims sender {:?}, transmission came from {}",
+                                    p.u32_field("from"),
+                                    info.node
+                                ),
+                            });
+                        }
+                        if p.u32_field("bytes") != Some(info.bytes) {
+                            self.violation(Violation::TxPairing {
+                                t_ns,
+                                node,
+                                tx,
+                                detail: format!(
+                                    "rx bytes {:?} != tx bytes {}",
+                                    p.u32_field("bytes"),
+                                    info.bytes
+                                ),
+                            });
+                        }
+                        if t_ns <= info.t_ns {
+                            self.violation(Violation::TxPairing {
+                                t_ns,
+                                node,
+                                tx,
+                                detail: format!("rx at {t_ns} not after tx start {}", info.t_ns),
+                            });
+                        }
+                    }
+                }
+            }
+            "drop" => {
+                let reason = p
+                    .str_field("reason")
+                    .and_then(DropReason::parse)
+                    .unwrap_or(DropReason::Budget);
+                *self.report.frame_drops.entry(reason.name()).or_insert(0) += 1;
+                if let Some(tx) = p.u64_field("tx") {
+                    if !self.txs.contains_key(&tx) {
+                        self.violation(Violation::TxPairing {
+                            t_ns,
+                            node,
+                            tx,
+                            detail: "drop names a transmission never put on the air".into(),
+                        });
+                    }
+                }
+            }
+            "item_drop" => {
+                let reason = p
+                    .str_field("reason")
+                    .and_then(DropReason::parse)
+                    .unwrap_or(DropReason::Budget);
+                *self.report.item_drops.entry(reason.name()).or_insert(0) += 1;
+                if let (Some(src), Some(seq)) = (p.u32_field("src"), p.u32_field("seq")) {
+                    if !self.births.contains_key(&(src, seq)) {
+                        self.violation(Violation::Lineage(format!(
+                            "item_drop at node {node} names unborn lineage {src}#{seq}"
+                        )));
+                    }
+                }
+            }
+            "energy" => {
+                if let (Some(state), Some(j)) = (p.str_field("state"), p.f64_field("joules")) {
+                    if let Some(si) = ENERGY_STATES.iter().position(|&s| s == state) {
+                        self.node_energy.entry(node).or_insert([0.0; 4])[si] += j;
+                    }
+                }
+            }
+            "event_gen" => {
+                self.report.generated += 1;
+                let seq = p.u32_field("seq").unwrap_or(0);
+                if self.births.insert((node, seq), t_ns).is_some() {
+                    self.violation(Violation::Lineage(format!(
+                        "lineage {node}#{seq} generated twice"
+                    )));
+                }
+            }
+            "deliver" => {
+                self.report.delivered += 1;
+                let src = p.u32_field("src").unwrap_or(0);
+                let seq = p.u32_field("seq").unwrap_or(0);
+                let gen_ns = p.u64_field("gen_ns").unwrap_or(0);
+                match self.births.get(&(src, seq)) {
+                    None => self.violation(Violation::Lineage(format!(
+                        "sink {node} delivered unborn lineage {src}#{seq}"
+                    ))),
+                    Some(&born) if born != gen_ns => self.violation(Violation::Lineage(format!(
+                        "deliver of {src}#{seq} carries gen_ns {gen_ns}, born at {born}"
+                    ))),
+                    Some(_) => {}
+                }
+                if self.deliveries.insert((node, src, seq), t_ns).is_some() {
+                    self.violation(Violation::Lineage(format!(
+                        "sink {node} delivered lineage {src}#{seq} twice"
+                    )));
+                }
+                // Recompute the delay exactly as SinkStats did: u64
+                // saturating subtraction, then nanos / 1e9, accumulated
+                // per sink in arrival order.
+                let delay_s = t_ns.saturating_sub(gen_ns) as f64 / 1e9;
+                *self.sink_delay_s.entry(node).or_insert(0.0) += delay_s;
+            }
+            "metrics" => {
+                if let (
+                    Some(generated),
+                    Some(distinct),
+                    Some(delay_sum_s),
+                    Some(sinks),
+                    Some(total),
+                ) = (
+                    p.u64_field("generated"),
+                    p.u64_field("distinct"),
+                    p.f64_field("delay_sum_s"),
+                    p.u32_field("sinks"),
+                    p.f64_field("total_energy_j"),
+                ) {
+                    self.report.metrics = Some(ReportedMetrics {
+                        generated,
+                        distinct,
+                        delay_sum_s,
+                        sinks,
+                        total_energy_j: total,
+                    });
+                } else {
+                    self.violation(Violation::Framing(
+                        "metrics record with missing fields".into(),
+                    ));
+                }
+            }
+            "run_end" => {
+                if self.run_end.is_some() {
+                    self.violation(Violation::Framing("duplicate run_end".into()));
+                }
+                self.run_end = Some((
+                    p.u64_field("events").unwrap_or(0),
+                    p.f64_field("total_energy_j").unwrap_or(f64::NAN),
+                ));
+                self.records_after_end = 0;
+            }
+            // Structural records with no conservation invariant of their own.
+            "enq" | "collision" | "reinforce" | "tree_edge" | "agg_merge" | "snapshot"
+            | "profile" => {}
+            other => self.violation(Violation::Framing(format!("unknown record tag {other:?}"))),
+        }
+    }
+
+    fn violation(&mut self, v: Violation) {
+        self.report.violations.push(v);
+    }
+
+    /// Runs the end-of-trace checks and returns the report.
+    pub fn finish(mut self) -> AuditReport {
+        if !self.saw_run_start {
+            self.violation(Violation::Framing("empty trace (no run_start)".into()));
+        }
+        let Some((events, reported_total)) = self.run_end else {
+            self.violation(Violation::Framing("missing run_end".into()));
+            return self.report;
+        };
+        if self.records_after_end > 0 {
+            self.violation(Violation::Framing(format!(
+                "{} record(s) after run_end",
+                self.records_after_end
+            )));
+        }
+        if self.dispatches > 0 && self.dispatches != events {
+            self.violation(Violation::Count {
+                what: "dispatched events",
+                recomputed: self.dispatches,
+                reported: events,
+            });
+        }
+        // Energy conservation: per node, states summed in ENERGY_STATES
+        // order; nodes summed in node order — the meter's own association
+        // order, so the comparison against run_end is exact.
+        let debited: f64 = self
+            .node_energy
+            .values()
+            .map(|by_state| by_state.iter().sum::<f64>())
+            .sum();
+        self.report.debited_j = debited;
+        if debited != reported_total {
+            self.violation(Violation::Energy {
+                against: "run_end total",
+                debited,
+                reported: reported_total,
+            });
+        }
+        // Lineage conservation against the harvested metrics.
+        if let Some(m) = self.report.metrics {
+            if (debited - m.total_energy_j).abs() > ENERGY_DRIFT_TOLERANCE_J {
+                self.violation(Violation::Energy {
+                    against: "harvested metrics total",
+                    debited,
+                    reported: m.total_energy_j,
+                });
+            }
+            if self.report.generated != m.generated {
+                self.violation(Violation::Count {
+                    what: "generated events",
+                    recomputed: self.report.generated,
+                    reported: m.generated,
+                });
+            }
+            if self.report.delivered != m.distinct {
+                self.violation(Violation::Count {
+                    what: "distinct deliveries",
+                    recomputed: self.report.delivered,
+                    reported: m.distinct,
+                });
+            }
+            // Cross-sink sum in node-id order — Experiment's harvest order.
+            let delay_sum: f64 = self.sink_delay_s.values().sum();
+            if delay_sum != m.delay_sum_s {
+                self.violation(Violation::Metric {
+                    what: "delay sum (s)",
+                    recomputed: delay_sum,
+                    reported: m.delay_sum_s,
+                });
+            }
+            // The paper's derived metrics, by the RunRecord::metrics
+            // formulas, from recomputed vs reported inputs.
+            let recomputed_ratio = ratio(self.report.delivered, self.report.generated, m.sinks);
+            let reported_ratio = ratio(m.distinct, m.generated, m.sinks);
+            if recomputed_ratio != reported_ratio {
+                self.violation(Violation::Metric {
+                    what: "delivery ratio",
+                    recomputed: recomputed_ratio,
+                    reported: reported_ratio,
+                });
+            }
+            let recomputed_delay = avg_delay(delay_sum, self.report.delivered);
+            let reported_delay = avg_delay(m.delay_sum_s, m.distinct);
+            if recomputed_delay != reported_delay {
+                self.violation(Violation::Metric {
+                    what: "average delay (s)",
+                    recomputed: recomputed_delay,
+                    reported: reported_delay,
+                });
+            }
+        } else if self.report.generated > 0 || self.report.delivered > 0 {
+            self.violation(Violation::Framing(
+                "trace has lineage records but no metrics record".into(),
+            ));
+        }
+        self.report
+    }
+}
+
+/// The distinct-event delivery ratio, exactly as `RunRecord::metrics`
+/// computes it.
+fn ratio(distinct: u64, generated: u64, sinks: u32) -> f64 {
+    let expected = generated.saturating_mul(u64::from(sinks));
+    if expected == 0 {
+        0.0
+    } else {
+        distinct as f64 / expected as f64
+    }
+}
+
+/// The average delay, exactly as `RunRecord::metrics` computes it.
+fn avg_delay(delay_sum_s: f64, distinct: u64) -> f64 {
+    if distinct == 0 {
+        0.0
+    } else {
+        delay_sum_s / distinct as f64
+    }
+}
+
+/// Audits a whole NDJSON text.
+pub fn audit_text(text: &str) -> AuditReport {
+    let mut a = Auditor::new();
+    for line in text.lines() {
+        a.add_line(line);
+    }
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TraceRecord;
+
+    fn to_text(recs: &[TraceRecord]) -> String {
+        let mut text = String::new();
+        for r in recs {
+            text.push_str(&r.to_json());
+            text.push('\n');
+        }
+        text
+    }
+
+    fn minimal_consistent() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord::RunStart { seed: 1, nodes: 3 },
+            TraceRecord::EventGen {
+                t_ns: 100,
+                node: 1,
+                seq: 0,
+            },
+            TraceRecord::PacketTx {
+                t_ns: 150,
+                node: 1,
+                tx: 1,
+                kind: "data",
+                bytes: 64,
+                dst: Some(0),
+                lineage: Some("1#0".into()),
+            },
+            TraceRecord::PacketRx {
+                t_ns: 200,
+                node: 0,
+                from: 1,
+                tx: 1,
+                bytes: 64,
+            },
+            TraceRecord::EventDeliver {
+                t_ns: 200,
+                node: 0,
+                src: 1,
+                seq: 0,
+                gen_ns: 100,
+            },
+            TraceRecord::EnergyDebit {
+                t_ns: 200,
+                node: 1,
+                state: "tx",
+                joules: 0.5,
+            },
+            TraceRecord::EnergyDebit {
+                t_ns: 200,
+                node: 0,
+                state: "rx",
+                joules: 0.25,
+            },
+            TraceRecord::RunMetrics {
+                t_ns: 300,
+                generated: 1,
+                distinct: 1,
+                delay_sum_s: 100e-9,
+                sinks: 1,
+                total_energy_j: 0.75,
+            },
+            TraceRecord::RunEnd {
+                t_ns: 300,
+                events: 0,
+                total_energy_j: 0.75,
+            },
+        ]
+    }
+
+    #[test]
+    fn consistent_trace_audits_clean() {
+        let report = audit_text(&to_text(&minimal_consistent()));
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        assert_eq!(report.tx, 1);
+        assert_eq!(report.rx, 1);
+        assert_eq!(report.generated, 1);
+        assert_eq!(report.delivered, 1);
+        assert_eq!(report.debited_j, 0.75);
+    }
+
+    #[test]
+    fn orphan_rx_is_flagged() {
+        let mut recs = minimal_consistent();
+        recs.insert(
+            2,
+            TraceRecord::PacketRx {
+                t_ns: 120,
+                node: 2,
+                from: 1,
+                tx: 99,
+                bytes: 64,
+            },
+        );
+        let report = audit_text(&to_text(&recs));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::TxPairing { tx: 99, .. })));
+    }
+
+    #[test]
+    fn energy_shortfall_is_flagged() {
+        let mut recs = minimal_consistent();
+        recs.retain(|r| !matches!(r, TraceRecord::EnergyDebit { node: 0, .. }));
+        let report = audit_text(&to_text(&recs));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::Energy { .. })));
+    }
+
+    #[test]
+    fn unborn_and_duplicate_deliveries_are_flagged() {
+        let mut recs = minimal_consistent();
+        let dup = TraceRecord::EventDeliver {
+            t_ns: 250,
+            node: 0,
+            src: 1,
+            seq: 0,
+            gen_ns: 100,
+        };
+        let unborn = TraceRecord::EventDeliver {
+            t_ns: 250,
+            node: 0,
+            src: 2,
+            seq: 7,
+            gen_ns: 10,
+        };
+        recs.insert(5, dup);
+        recs.insert(6, unborn);
+        let report = audit_text(&to_text(&recs));
+        let lineage_violations = report
+            .violations
+            .iter()
+            .filter(|v| matches!(v, Violation::Lineage(_)))
+            .count();
+        assert!(lineage_violations >= 2, "{:?}", report.violations);
+    }
+
+    #[test]
+    fn metric_mismatch_is_flagged_exactly() {
+        let mut recs = minimal_consistent();
+        for r in &mut recs {
+            if let TraceRecord::RunMetrics { delay_sum_s, .. } = r {
+                *delay_sum_s += 1e-15; // one ulp of drift is a violation
+            }
+        }
+        let report = audit_text(&to_text(&recs));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::Metric { .. })));
+    }
+
+    #[test]
+    fn missing_framing_is_flagged() {
+        let report = audit_text("");
+        assert!(!report.ok());
+        let report = audit_text("{\"ev\":\"dispatch\",\"t_ns\":1,\"seq\":1}\n");
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::Framing(_))));
+    }
+}

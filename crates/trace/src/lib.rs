@@ -48,12 +48,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
+pub mod lineage;
 pub mod parse;
 pub mod record;
 pub mod report;
 pub mod sink;
 
+pub use audit::{audit_text, AuditReport, Auditor, Violation};
+pub use lineage::{join_lineage, split_lineage, LineageId};
 pub use parse::{parse_line, ParsedLine};
-pub use record::{TraceRecord, ENERGY_STATES, SCHEMA_VERSION};
-pub use report::{NodeTally, TraceSummary};
+pub use record::{DropReason, TraceRecord, ENERGY_STATES, SCHEMA_VERSION};
+pub use report::{NodeTally, ProfileRow, TraceSummary};
 pub use sink::{shared, JsonlSink, MemSink, NullSink, SharedSink, TraceSink};

@@ -90,9 +90,11 @@ mod tests {
             TraceRecord::PacketTx {
                 t_ns: 5,
                 node: 1,
+                tx: 3,
                 kind: "ack",
                 bytes: 14,
                 dst: Some(3),
+                lineage: None,
             },
             TraceRecord::EnergyDebit {
                 t_ns: 6,
@@ -111,6 +113,22 @@ mod tests {
             let p = parse_line(&line).unwrap_or_else(|| panic!("unparsable: {line}"));
             assert_eq!(p.tag(), Some(r.tag()), "{line}");
         }
+    }
+
+    #[test]
+    fn lineage_sets_survive_the_quoted_value_scan() {
+        let line = TraceRecord::AggMerge {
+            t_ns: 9,
+            node: 4,
+            inputs: 2,
+            items: 3,
+            cost: 1.5,
+            lineage: "0#1,2#1,2#2".into(),
+        }
+        .to_json();
+        let p = parse_line(&line).unwrap();
+        assert_eq!(p.str_field("lineage"), Some("0#1,2#1,2#2"));
+        assert_eq!(p.f64_field("cost"), Some(1.5));
     }
 
     #[test]

@@ -5,6 +5,13 @@
 //! [`crate::parse`] stays trivial, and every numeric field is written with
 //! Rust's shortest-round-trip `Display` formatting, which is deterministic —
 //! the same run produces byte-identical lines.
+//!
+//! Schema v2 adds event lineage: application payloads carry `(source, seq)`
+//! lineage ids (see [`crate::lineage`]), physical transmissions carry a
+//! per-run `tx` id so receptions and drops pair with the transmission that
+//! caused them, and losses carry a structured [`DropReason`]. Lineage *sets*
+//! (on `tx`, `enq`, and `agg_merge` lines) are encoded as one quoted string
+//! of comma-joined `src#seq` ids, which keeps the lines flat.
 
 use std::io::{self, Write};
 
@@ -12,13 +19,70 @@ use std::io::{self, Write};
 ///
 /// Bump this whenever a record variant or field changes meaning; readers can
 /// then refuse (or adapt to) traces from other schema generations.
-pub const SCHEMA_VERSION: u32 = 1;
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Radio-state labels used by [`TraceRecord::EnergyDebit`], in the order the
 /// energy meter sums its per-state buckets (off, idle, rx, tx). Reductions
 /// that re-sum debits in this same per-state order reproduce the meter's
 /// floating-point total bit-for-bit.
 pub const ENERGY_STATES: [&str; 4] = ["off", "idle", "rx", "tx"];
+
+/// Why a frame or a buffered event item was lost.
+///
+/// Frame-level reasons come from the MAC/engine (`Collision`, `RetryLimit`,
+/// `NodeDown`); item-level reasons come from the diffusion layer (`NoRoute`,
+/// `CacheSuppressed`); `Budget` marks losses caused by the run's event
+/// budget truncating the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// Reception was corrupted by an overlapping transmission.
+    Collision,
+    /// A unicast was abandoned after the MAC exhausted its ARQ retries.
+    RetryLimit,
+    /// The frame was queued at (or addressed to) a failed node.
+    NodeDown,
+    /// A buffered item had no downstream gradient to flow along.
+    NoRoute,
+    /// A duplicate copy was suppressed by the seen-items cache.
+    CacheSuppressed,
+    /// The run's event budget expired before the item could be serviced.
+    Budget,
+}
+
+impl DropReason {
+    /// Every reason, in a fixed order (for deterministic tables).
+    pub const ALL: [DropReason; 6] = [
+        DropReason::Collision,
+        DropReason::RetryLimit,
+        DropReason::NodeDown,
+        DropReason::NoRoute,
+        DropReason::CacheSuppressed,
+        DropReason::Budget,
+    ];
+
+    /// The reason's wire label.
+    pub fn name(self) -> &'static str {
+        match self {
+            DropReason::Collision => "collision",
+            DropReason::RetryLimit => "retry_limit",
+            DropReason::NodeDown => "node_down",
+            DropReason::NoRoute => "no_route",
+            DropReason::CacheSuppressed => "cache_suppressed",
+            DropReason::Budget => "budget",
+        }
+    }
+
+    /// Parses a wire label back into the reason.
+    pub fn parse(s: &str) -> Option<DropReason> {
+        DropReason::ALL.into_iter().find(|r| r.name() == s)
+    }
+}
+
+impl std::fmt::Display for DropReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// One telemetry event of a simulation run.
 ///
@@ -42,18 +106,38 @@ pub enum TraceRecord {
         /// Running dispatch count (1-based, matches `events_processed`).
         seq: u64,
     },
-    /// A frame was put on the air.
+    /// A payload frame entered a node's MAC queue. Together with the `tx`
+    /// line that later carries the same lineage from the same node, this
+    /// bounds the frame's queue-plus-backoff wait.
+    MacEnqueue {
+        /// Simulated time, nanoseconds.
+        t_ns: u64,
+        /// The queueing node.
+        node: u32,
+        /// Frame size in bytes.
+        bytes: u32,
+        /// Logical destination (`None` = broadcast).
+        dst: Option<u32>,
+        /// Lineage ids carried by the payload, if the payload is stamped.
+        lineage: Option<String>,
+    },
+    /// A frame was put on the air. `tx` is the per-run transmission id that
+    /// `rx` and `drop` lines refer back to.
     PacketTx {
         /// Simulated time, nanoseconds.
         t_ns: u64,
         /// The transmitting node.
         node: u32,
+        /// Per-run transmission id.
+        tx: u64,
         /// Frame kind: `"data"`, `"ack"`, `"rts"`, or `"cts"`.
         kind: &'static str,
         /// Frame size in bytes.
         bytes: u32,
         /// Logical destination (`None` = broadcast).
         dst: Option<u32>,
+        /// Lineage ids carried by the payload, if the payload is stamped.
+        lineage: Option<String>,
     },
     /// A payload frame was successfully decoded at a hearer.
     PacketRx {
@@ -63,19 +147,22 @@ pub enum TraceRecord {
         node: u32,
         /// The transmitting neighbor.
         from: u32,
+        /// The transmission being received (pairs with a `tx` line).
+        tx: u64,
         /// Frame size in bytes.
         bytes: u32,
     },
-    /// A frame was lost: `"collision"` (reception corrupted),
-    /// `"retry_limit"` (unicast abandoned by ARQ), or `"node_down"`
-    /// (queued at a failed node).
+    /// A frame was lost.
     PacketDrop {
         /// Simulated time, nanoseconds.
         t_ns: u64,
         /// The node that lost the frame.
         node: u32,
         /// Why the frame was lost.
-        reason: &'static str,
+        reason: DropReason,
+        /// The transmission the loss belongs to, when one was on the air
+        /// (`None` for losses before any transmission, e.g. `node_down`).
+        tx: Option<u64>,
     },
     /// A reception was corrupted by an overlapping transmission at `node`.
     Collision {
@@ -130,6 +217,71 @@ pub enum TraceRecord {
         items: u32,
         /// The outgoing aggregate's set-cover energy cost.
         cost: f64,
+        /// Lineage ids absorbed into the outgoing aggregate.
+        lineage: String,
+    },
+    /// A new distinct event was sensed at its source (lineage id birth).
+    EventGen {
+        /// Simulated time, nanoseconds.
+        t_ns: u64,
+        /// The source node (the lineage id's `src` half).
+        node: u32,
+        /// The source-local event sequence number (the `seq` half).
+        seq: u32,
+    },
+    /// A sink received its first copy of a distinct event.
+    EventDeliver {
+        /// Simulated time, nanoseconds.
+        t_ns: u64,
+        /// The sink that delivered the event.
+        node: u32,
+        /// The event's source node.
+        src: u32,
+        /// The event's source-local sequence number.
+        seq: u32,
+        /// When the event was generated (the matching `event_gen`'s `t_ns`).
+        gen_ns: u64,
+    },
+    /// A buffered event item was discarded (or suppressed) at `node`.
+    ItemDrop {
+        /// Simulated time, nanoseconds.
+        t_ns: u64,
+        /// The node that lost or suppressed the item.
+        node: u32,
+        /// The item's source node.
+        src: u32,
+        /// The item's source-local sequence number.
+        seq: u32,
+        /// Why the item went no further here.
+        reason: DropReason,
+    },
+    /// The metrics the run reported, emitted at harvest time so the trace
+    /// is a self-verifying artifact (see [`crate::audit`]).
+    RunMetrics {
+        /// Simulated time the metrics were harvested, nanoseconds.
+        t_ns: u64,
+        /// Events generated across all sources.
+        generated: u64,
+        /// Distinct events delivered, summed over sinks.
+        distinct: u64,
+        /// Sum of per-event delivery delays over all sinks, seconds.
+        delay_sum_s: f64,
+        /// Number of sinks in the scenario.
+        sinks: u32,
+        /// Total energy dissipated as harvested into the run record.
+        total_energy_j: f64,
+    },
+    /// One dispatch-profiler row (only present when profiling is enabled —
+    /// values are wall-clock and therefore *not* deterministic).
+    Profile {
+        /// The profiled event-type label.
+        label: String,
+        /// Dispatches of this event type.
+        count: u64,
+        /// Total wall-clock nanoseconds spent in this event type.
+        total_ns: u64,
+        /// The single slowest dispatch, wall-clock nanoseconds.
+        max_ns: u64,
     },
     /// Periodic per-node state snapshot (configurable sim-time cadence).
     Snapshot {
@@ -161,6 +313,7 @@ impl TraceRecord {
         match self {
             TraceRecord::RunStart { .. } => "run_start",
             TraceRecord::Dispatch { .. } => "dispatch",
+            TraceRecord::MacEnqueue { .. } => "enq",
             TraceRecord::PacketTx { .. } => "tx",
             TraceRecord::PacketRx { .. } => "rx",
             TraceRecord::PacketDrop { .. } => "drop",
@@ -169,6 +322,11 @@ impl TraceRecord {
             TraceRecord::GradientReinforce { .. } => "reinforce",
             TraceRecord::TreeEdge { .. } => "tree_edge",
             TraceRecord::AggMerge { .. } => "agg_merge",
+            TraceRecord::EventGen { .. } => "event_gen",
+            TraceRecord::EventDeliver { .. } => "deliver",
+            TraceRecord::ItemDrop { .. } => "item_drop",
+            TraceRecord::RunMetrics { .. } => "metrics",
+            TraceRecord::Profile { .. } => "profile",
             TraceRecord::Snapshot { .. } => "snapshot",
             TraceRecord::RunEnd { .. } => "run_end",
         }
@@ -188,35 +346,69 @@ impl TraceRecord {
             TraceRecord::Dispatch { t_ns, seq } => {
                 writeln!(out, "{{\"ev\":\"dispatch\",\"t_ns\":{t_ns},\"seq\":{seq}}}")
             }
+            TraceRecord::MacEnqueue {
+                t_ns,
+                node,
+                bytes,
+                dst,
+                lineage,
+            } => {
+                write!(out, "{{\"ev\":\"enq\",\"t_ns\":{t_ns},\"node\":{node},\"bytes\":{bytes}")?;
+                if let Some(d) = dst {
+                    write!(out, ",\"dst\":{d}")?;
+                }
+                if let Some(l) = lineage {
+                    write!(out, ",\"lineage\":\"{l}\"")?;
+                }
+                writeln!(out, "}}")
+            }
             TraceRecord::PacketTx {
                 t_ns,
                 node,
+                tx,
                 kind,
                 bytes,
                 dst,
-            } => match dst {
-                Some(d) => writeln!(
+                lineage,
+            } => {
+                write!(
                     out,
-                    "{{\"ev\":\"tx\",\"t_ns\":{t_ns},\"node\":{node},\"kind\":\"{kind}\",\"bytes\":{bytes},\"dst\":{d}}}"
-                ),
-                None => writeln!(
-                    out,
-                    "{{\"ev\":\"tx\",\"t_ns\":{t_ns},\"node\":{node},\"kind\":\"{kind}\",\"bytes\":{bytes}}}"
-                ),
-            },
+                    "{{\"ev\":\"tx\",\"t_ns\":{t_ns},\"node\":{node},\"tx\":{tx},\"kind\":\"{kind}\",\"bytes\":{bytes}"
+                )?;
+                if let Some(d) = dst {
+                    write!(out, ",\"dst\":{d}")?;
+                }
+                if let Some(l) = lineage {
+                    write!(out, ",\"lineage\":\"{l}\"")?;
+                }
+                writeln!(out, "}}")
+            }
             TraceRecord::PacketRx {
                 t_ns,
                 node,
                 from,
+                tx,
                 bytes,
             } => writeln!(
                 out,
-                "{{\"ev\":\"rx\",\"t_ns\":{t_ns},\"node\":{node},\"from\":{from},\"bytes\":{bytes}}}"
+                "{{\"ev\":\"rx\",\"t_ns\":{t_ns},\"node\":{node},\"from\":{from},\"tx\":{tx},\"bytes\":{bytes}}}"
             ),
-            TraceRecord::PacketDrop { t_ns, node, reason } => writeln!(
-                out,
-                "{{\"ev\":\"drop\",\"t_ns\":{t_ns},\"node\":{node},\"reason\":\"{reason}\"}}"
-            ),
+            TraceRecord::PacketDrop {
+                t_ns,
+                node,
+                reason,
+                tx,
+            } => {
+                write!(
+                    out,
+                    "{{\"ev\":\"drop\",\"t_ns\":{t_ns},\"node\":{node},\"reason\":\"{}\"",
+                    reason.name()
+                )?;
+                if let Some(tx) = tx {
+                    write!(out, ",\"tx\":{tx}")?;
+                }
+                writeln!(out, "}}")
+            }
             TraceRecord::Collision { t_ns, node } => writeln!(
                 out,
                 "{{\"ev\":\"collision\",\"t_ns\":{t_ns},\"node\":{node}}}"
@@ -249,9 +441,55 @@ impl TraceRecord {
                 inputs,
                 items,
                 cost,
+                lineage,
             } => writeln!(
                 out,
-                "{{\"ev\":\"agg_merge\",\"t_ns\":{t_ns},\"node\":{node},\"inputs\":{inputs},\"items\":{items},\"cost\":{cost}}}"
+                "{{\"ev\":\"agg_merge\",\"t_ns\":{t_ns},\"node\":{node},\"inputs\":{inputs},\"items\":{items},\"cost\":{cost},\"lineage\":\"{lineage}\"}}"
+            ),
+            TraceRecord::EventGen { t_ns, node, seq } => writeln!(
+                out,
+                "{{\"ev\":\"event_gen\",\"t_ns\":{t_ns},\"node\":{node},\"seq\":{seq}}}"
+            ),
+            TraceRecord::EventDeliver {
+                t_ns,
+                node,
+                src,
+                seq,
+                gen_ns,
+            } => writeln!(
+                out,
+                "{{\"ev\":\"deliver\",\"t_ns\":{t_ns},\"node\":{node},\"src\":{src},\"seq\":{seq},\"gen_ns\":{gen_ns}}}"
+            ),
+            TraceRecord::ItemDrop {
+                t_ns,
+                node,
+                src,
+                seq,
+                reason,
+            } => writeln!(
+                out,
+                "{{\"ev\":\"item_drop\",\"t_ns\":{t_ns},\"node\":{node},\"src\":{src},\"seq\":{seq},\"reason\":\"{}\"}}",
+                reason.name()
+            ),
+            TraceRecord::RunMetrics {
+                t_ns,
+                generated,
+                distinct,
+                delay_sum_s,
+                sinks,
+                total_energy_j,
+            } => writeln!(
+                out,
+                "{{\"ev\":\"metrics\",\"t_ns\":{t_ns},\"generated\":{generated},\"distinct\":{distinct},\"delay_sum_s\":{delay_sum_s},\"sinks\":{sinks},\"total_energy_j\":{total_energy_j}}}"
+            ),
+            TraceRecord::Profile {
+                label,
+                count,
+                total_ns,
+                max_ns,
+            } => writeln!(
+                out,
+                "{{\"ev\":\"profile\",\"label\":\"{label}\",\"count\":{count},\"total_ns\":{total_ns},\"max_ns\":{max_ns}}}"
             ),
             TraceRecord::Snapshot {
                 t_ns,
@@ -293,30 +531,43 @@ mod tests {
         let recs = [
             TraceRecord::RunStart { seed: 7, nodes: 3 },
             TraceRecord::Dispatch { t_ns: 10, seq: 1 },
+            TraceRecord::MacEnqueue {
+                t_ns: 10,
+                node: 0,
+                bytes: 64,
+                dst: Some(2),
+                lineage: Some("0#1,1#1".into()),
+            },
             TraceRecord::PacketTx {
                 t_ns: 10,
                 node: 0,
+                tx: 1,
                 kind: "data",
                 bytes: 64,
                 dst: Some(2),
+                lineage: Some("0#1".into()),
             },
             TraceRecord::PacketTx {
                 t_ns: 11,
                 node: 0,
+                tx: 2,
                 kind: "data",
                 bytes: 64,
                 dst: None,
+                lineage: None,
             },
             TraceRecord::PacketRx {
                 t_ns: 12,
                 node: 2,
                 from: 0,
+                tx: 2,
                 bytes: 64,
             },
             TraceRecord::PacketDrop {
                 t_ns: 13,
                 node: 2,
-                reason: "collision",
+                reason: DropReason::Collision,
+                tx: Some(2),
             },
             TraceRecord::Collision { t_ns: 13, node: 2 },
             TraceRecord::EnergyDebit {
@@ -342,6 +593,40 @@ mod tests {
                 inputs: 3,
                 items: 4,
                 cost: 12.0,
+                lineage: "0#1,2#1".into(),
+            },
+            TraceRecord::EventGen {
+                t_ns: 16,
+                node: 4,
+                seq: 2,
+            },
+            TraceRecord::EventDeliver {
+                t_ns: 17,
+                node: 0,
+                src: 4,
+                seq: 2,
+                gen_ns: 16,
+            },
+            TraceRecord::ItemDrop {
+                t_ns: 17,
+                node: 3,
+                src: 4,
+                seq: 2,
+                reason: DropReason::NoRoute,
+            },
+            TraceRecord::RunMetrics {
+                t_ns: 18,
+                generated: 10,
+                distinct: 9,
+                delay_sum_s: 1.25,
+                sinks: 1,
+                total_energy_j: 3.5,
+            },
+            TraceRecord::Profile {
+                label: "tx_end".into(),
+                count: 4,
+                total_ns: 1000,
+                max_ns: 400,
             },
             TraceRecord::Snapshot {
                 t_ns: 17,
@@ -367,7 +652,7 @@ mod tests {
     #[test]
     fn schema_version_is_stamped_on_run_start() {
         let line = TraceRecord::RunStart { seed: 1, nodes: 2 }.to_json();
-        assert!(line.contains("\"v\":1"), "{line}");
+        assert!(line.contains("\"v\":2"), "{line}");
     }
 
     #[test]
@@ -380,5 +665,26 @@ mod tests {
         }
         .to_json();
         assert!(line.contains("\"joules\":0.1"), "{line}");
+    }
+
+    #[test]
+    fn optional_fields_are_omitted_not_null() {
+        let line = TraceRecord::PacketDrop {
+            t_ns: 1,
+            node: 2,
+            reason: DropReason::NodeDown,
+            tx: None,
+        }
+        .to_json();
+        assert!(!line.contains("tx"), "{line}");
+        assert!(line.contains("\"reason\":\"node_down\""), "{line}");
+    }
+
+    #[test]
+    fn drop_reason_labels_roundtrip() {
+        for r in DropReason::ALL {
+            assert_eq!(DropReason::parse(r.name()), Some(r));
+        }
+        assert_eq!(DropReason::parse("gremlins"), None);
     }
 }

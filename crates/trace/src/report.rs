@@ -5,8 +5,23 @@
 //! energy histogram, the top-N hottest nodes, and a totals table — the
 //! artifact later perf/robustness PRs cite to prove their effect.
 
+use std::collections::BTreeMap;
+
 use crate::parse::parse_line;
 use crate::record::{TraceRecord, ENERGY_STATES};
+
+/// One dispatch-profiler row reduced from `profile` records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileRow {
+    /// The profiled event-type label.
+    pub label: String,
+    /// Dispatches of this event type.
+    pub count: u64,
+    /// Total wall-clock nanoseconds spent.
+    pub total_ns: u64,
+    /// The single slowest dispatch, nanoseconds.
+    pub max_ns: u64,
+}
 
 /// Per-node counters reduced from one trace.
 #[derive(Debug, Clone, Default)]
@@ -53,10 +68,25 @@ pub struct TraceSummary {
     pub merges: u64,
     /// Snapshot records seen.
     pub snapshots: u64,
+    /// MAC enqueue records seen.
+    pub enqueues: u64,
+    /// Distinct events born (`event_gen` records).
+    pub events_generated: u64,
+    /// Sink deliveries (`deliver` records).
+    pub delivered: u64,
+    /// Frame drops per reason label (sorted by reason for stable tables).
+    pub drop_reasons: BTreeMap<String, u64>,
+    /// Item drops/suppressions per reason label.
+    pub item_drop_reasons: BTreeMap<String, u64>,
+    /// Dispatch-profiler rows, as recorded.
+    pub profile: Vec<ProfileRow>,
     /// The `run_start` seed, if the trace carried one.
     pub seed: Option<u64>,
     /// The `run_start` schema version, if present.
     pub schema_version: Option<u64>,
+    /// The reported metrics line `(generated, distinct, delay_sum_s,
+    /// sinks)`, if the trace carried one.
+    pub metrics: Option<(u64, u64, f64, u32)>,
     /// The `run_end` totals, if the trace carried them.
     pub run_end: Option<(u64, f64)>,
 }
@@ -87,9 +117,16 @@ impl TraceSummary {
                 }
             }
             TraceRecord::Dispatch { .. } => self.dispatches += 1,
+            TraceRecord::MacEnqueue { .. } => self.enqueues += 1,
             TraceRecord::PacketTx { node, .. } => self.node_mut(*node).tx += 1,
             TraceRecord::PacketRx { node, .. } => self.node_mut(*node).rx += 1,
-            TraceRecord::PacketDrop { node, .. } => self.node_mut(*node).drops += 1,
+            TraceRecord::PacketDrop { node, reason, .. } => {
+                self.node_mut(*node).drops += 1;
+                *self
+                    .drop_reasons
+                    .entry(reason.name().to_string())
+                    .or_insert(0) += 1;
+            }
             TraceRecord::Collision { node, .. } => self.node_mut(*node).collisions += 1,
             TraceRecord::EnergyDebit {
                 node,
@@ -104,6 +141,32 @@ impl TraceSummary {
             TraceRecord::GradientReinforce { .. } => self.reinforcements += 1,
             TraceRecord::TreeEdge { .. } => self.tree_edges += 1,
             TraceRecord::AggMerge { .. } => self.merges += 1,
+            TraceRecord::EventGen { .. } => self.events_generated += 1,
+            TraceRecord::EventDeliver { .. } => self.delivered += 1,
+            TraceRecord::ItemDrop { reason, .. } => {
+                *self
+                    .item_drop_reasons
+                    .entry(reason.name().to_string())
+                    .or_insert(0) += 1;
+            }
+            TraceRecord::RunMetrics {
+                generated,
+                distinct,
+                delay_sum_s,
+                sinks,
+                ..
+            } => self.metrics = Some((*generated, *distinct, *delay_sum_s, *sinks)),
+            TraceRecord::Profile {
+                label,
+                count,
+                total_ns,
+                max_ns,
+            } => self.profile.push(ProfileRow {
+                label: label.clone(),
+                count: *count,
+                total_ns: *total_ns,
+                max_ns: *max_ns,
+            }),
             TraceRecord::Snapshot { node, energy_j, .. } => {
                 self.snapshots += 1;
                 self.node_mut(*node).last_snapshot_energy_j = Some(*energy_j);
@@ -142,6 +205,7 @@ impl TraceSummary {
                 }
             }
             "dispatch" => self.dispatches += 1,
+            "enq" => self.enqueues += 1,
             "tx" => {
                 if let Some(n) = p.u32_field("node") {
                     self.node_mut(n).tx += 1;
@@ -155,6 +219,9 @@ impl TraceSummary {
             "drop" => {
                 if let Some(n) = p.u32_field("node") {
                     self.node_mut(n).drops += 1;
+                }
+                if let Some(r) = p.str_field("reason") {
+                    *self.drop_reasons.entry(r.to_string()).or_insert(0) += 1;
                 }
             }
             "collision" => {
@@ -176,6 +243,38 @@ impl TraceSummary {
             "reinforce" => self.reinforcements += 1,
             "tree_edge" => self.tree_edges += 1,
             "agg_merge" => self.merges += 1,
+            "event_gen" => self.events_generated += 1,
+            "deliver" => self.delivered += 1,
+            "item_drop" => {
+                if let Some(r) = p.str_field("reason") {
+                    *self.item_drop_reasons.entry(r.to_string()).or_insert(0) += 1;
+                }
+            }
+            "metrics" => {
+                if let (Some(g), Some(d), Some(s), Some(k)) = (
+                    p.u64_field("generated"),
+                    p.u64_field("distinct"),
+                    p.f64_field("delay_sum_s"),
+                    p.u32_field("sinks"),
+                ) {
+                    self.metrics = Some((g, d, s, k));
+                }
+            }
+            "profile" => {
+                if let (Some(label), Some(count), Some(total_ns), Some(max_ns)) = (
+                    p.str_field("label"),
+                    p.u64_field("count"),
+                    p.u64_field("total_ns"),
+                    p.u64_field("max_ns"),
+                ) {
+                    self.profile.push(ProfileRow {
+                        label: label.to_string(),
+                        count,
+                        total_ns,
+                        max_ns,
+                    });
+                }
+            }
             "snapshot" => {
                 self.snapshots += 1;
                 if let (Some(n), Some(j)) = (p.u32_field("node"), p.f64_field("energy_j")) {
@@ -247,6 +346,44 @@ impl TraceSummary {
             .collect()
     }
 
+    /// The dispatch-profiler rows, hottest first. Ties break toward the
+    /// lexicographically smaller label, so the table is deterministic even
+    /// when two event types cost the same.
+    pub fn profile_rows(&self) -> Vec<ProfileRow> {
+        let mut rows = self.profile.clone();
+        rows.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.label.cmp(&b.label)));
+        rows
+    }
+
+    /// Renders the `--profile` section: per-event-type dispatch cost.
+    /// Empty when the trace carries no profiler rows.
+    pub fn render_profile(&self) -> String {
+        use std::fmt::Write as _;
+        if self.profile.is_empty() {
+            return String::new();
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## dispatch profile (wall clock)");
+        let _ = writeln!(
+            out,
+            "{:<14} {:>10} {:>12} {:>10} {:>10}",
+            "event", "count", "total_us", "avg_ns", "max_ns"
+        );
+        for row in self.profile_rows() {
+            let avg = row.total_ns / row.count.max(1);
+            let _ = writeln!(
+                out,
+                "{:<14} {:>10} {:>12.1} {:>10} {:>10}",
+                row.label,
+                row.count,
+                row.total_ns as f64 / 1e3,
+                avg,
+                row.max_ns
+            );
+        }
+        out
+    }
+
     /// Renders the figure-style report: totals, per-node energy histogram,
     /// and the top-`top` hottest nodes.
     pub fn render(&self, top: usize, buckets: usize) -> String {
@@ -280,7 +417,37 @@ impl TraceSummary {
         let _ = writeln!(out, "reinforcements {}", self.reinforcements);
         let _ = writeln!(out, "tree_edges     {}", self.tree_edges);
         let _ = writeln!(out, "agg_merges     {}", self.merges);
+        let _ = writeln!(out, "enqueues       {}", self.enqueues);
         let _ = writeln!(out, "snapshots      {}", self.snapshots);
+        let _ = writeln!(
+            out,
+            "events         generated={} delivered={}",
+            self.events_generated, self.delivered
+        );
+        if let Some((generated, distinct, delay_sum_s, sinks)) = self.metrics {
+            let _ = writeln!(
+                out,
+                "metrics        generated={generated} distinct={distinct} delay_sum_s={delay_sum_s} sinks={sinks}"
+            );
+        }
+        if !self.drop_reasons.is_empty() || !self.item_drop_reasons.is_empty() {
+            let _ = writeln!(out, "\n## loss attribution");
+            let _ = writeln!(out, "{:<18} {:>10} {:>10}", "reason", "frames", "items");
+            // BTreeMap iteration is sorted by reason label, so the table is
+            // byte-stable across runs and platforms.
+            let mut reasons: Vec<&String> = self
+                .drop_reasons
+                .keys()
+                .chain(self.item_drop_reasons.keys())
+                .collect();
+            reasons.sort();
+            reasons.dedup();
+            for reason in reasons {
+                let f = self.drop_reasons.get(reason).copied().unwrap_or(0);
+                let i = self.item_drop_reasons.get(reason).copied().unwrap_or(0);
+                let _ = writeln!(out, "{reason:<18} {f:>10} {i:>10}");
+            }
+        }
         let _ = writeln!(out, "energy_total_j {:.9}", self.total_energy_j());
         if let Some((events, j)) = self.run_end {
             let drift = (self.total_energy_j() - j).abs();
@@ -342,9 +509,24 @@ mod tests {
             TraceRecord::PacketTx {
                 t_ns: 1,
                 node: 1,
+                tx: 1,
                 kind: "data",
                 bytes: 64,
                 dst: None,
+                lineage: Some("0#1".into()),
+            },
+            TraceRecord::PacketDrop {
+                t_ns: 2,
+                node: 2,
+                reason: crate::record::DropReason::Collision,
+                tx: Some(1),
+            },
+            TraceRecord::ItemDrop {
+                t_ns: 2,
+                node: 2,
+                src: 0,
+                seq: 1,
+                reason: crate::record::DropReason::NoRoute,
             },
             TraceRecord::Collision { t_ns: 2, node: 2 },
             TraceRecord::RunEnd {
@@ -368,8 +550,30 @@ mod tests {
         assert_eq!(from_lines.nodes.len(), 3);
         assert_eq!(from_lines.nodes[1].tx, 1);
         assert_eq!(from_lines.nodes[2].collisions, 1);
+        assert_eq!(from_lines.nodes[2].drops, 1);
+        assert_eq!(from_lines.drop_reasons.get("collision"), Some(&1));
+        assert_eq!(from_lines.item_drop_reasons.get("no_route"), Some(&1));
+        assert_eq!(from_records.drop_reasons, from_lines.drop_reasons);
+        assert_eq!(from_records.item_drop_reasons, from_lines.item_drop_reasons);
         assert_eq!(from_lines.run_end, Some((5, 3.5)));
         assert_eq!(from_lines.seed, Some(9));
+    }
+
+    #[test]
+    fn profile_rows_sort_hottest_first_with_label_ties() {
+        let mut s = TraceSummary::new();
+        for (label, total) in [("b_ev", 10), ("a_ev", 10), ("c_ev", 99)] {
+            s.add_record(&TraceRecord::Profile {
+                label: label.into(),
+                count: 1,
+                total_ns: total,
+                max_ns: total,
+            });
+        }
+        let rows = s.profile_rows();
+        let labels: Vec<&str> = rows.iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(labels, vec!["c_ev", "a_ev", "b_ev"]);
+        assert!(s.render_profile().contains("dispatch profile"));
     }
 
     #[test]

@@ -1,0 +1,328 @@
+//! Property tests for the NDJSON wire format: every [`TraceRecord`] kind
+//! survives `to_json()` → [`parse_line`] with every field intact (floats
+//! bit-exact, thanks to Rust's shortest-round-trip `Display`), optional
+//! fields are omitted rather than written as `null`, lineage sets survive
+//! the quoted-value scan, and malformed lines are rejected without panics.
+
+use proptest::prelude::*;
+use wsn_trace::{
+    join_lineage, parse_line, split_lineage, DropReason, LineageId, ParsedLine, TraceRecord,
+    ENERGY_STATES,
+};
+
+const FRAME_KINDS: [&str; 4] = ["data", "ack", "rts", "cts"];
+const REINFORCE_KINDS: [&str; 3] = ["establish", "refresh", "repair"];
+
+/// A random lineage-id set already joined into its wire string.
+fn lineage_set() -> impl Strategy<Value = String> {
+    prop::collection::vec((any::<u32>(), any::<u32>()), 1..8)
+        .prop_map(|ids| join_lineage(ids.into_iter().map(|(src, seq)| LineageId::new(src, seq))))
+}
+
+/// Parses the record's JSON line, asserting it parses and carries the tag.
+fn parsed(rec: &TraceRecord) -> ParsedLine {
+    let line = rec.to_json();
+    let p = parse_line(&line).unwrap_or_else(|| panic!("unparsable line: {line}"));
+    assert_eq!(p.tag(), Some(rec.tag()), "{line}");
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn run_start_roundtrips(seed in any::<u64>(), nodes in any::<u32>()) {
+        let p = parsed(&TraceRecord::RunStart { seed, nodes });
+        prop_assert_eq!(p.u64_field("seed"), Some(seed));
+        prop_assert_eq!(p.u32_field("nodes"), Some(nodes));
+        prop_assert!(p.u64_field("v").is_some(), "run_start carries the schema version");
+    }
+
+    #[test]
+    fn dispatch_roundtrips(t_ns in any::<u64>(), seq in any::<u64>()) {
+        let p = parsed(&TraceRecord::Dispatch { t_ns, seq });
+        prop_assert_eq!(p.u64_field("t_ns"), Some(t_ns));
+        prop_assert_eq!(p.u64_field("seq"), Some(seq));
+    }
+
+    #[test]
+    fn mac_enqueue_roundtrips(
+        t_ns in any::<u64>(),
+        node in any::<u32>(),
+        bytes in any::<u32>(),
+        dst in prop::option::of(any::<u32>()),
+        lineage in prop::option::of(lineage_set()),
+    ) {
+        let rec = TraceRecord::MacEnqueue { t_ns, node, bytes, dst, lineage: lineage.clone() };
+        let p = parsed(&rec);
+        prop_assert_eq!(p.u64_field("t_ns"), Some(t_ns));
+        prop_assert_eq!(p.u32_field("node"), Some(node));
+        prop_assert_eq!(p.u32_field("bytes"), Some(bytes));
+        prop_assert_eq!(p.u32_field("dst"), dst, "None must be omitted, Some must survive");
+        prop_assert_eq!(p.str_field("lineage").map(str::to_string), lineage);
+        prop_assert!(!rec.to_json().contains("null"), "optional fields are omitted, never null");
+    }
+
+    #[test]
+    fn packet_tx_roundtrips(
+        t_ns in any::<u64>(),
+        node in any::<u32>(),
+        tx in any::<u64>(),
+        kind_ix in 0usize..FRAME_KINDS.len(),
+        bytes in any::<u32>(),
+        dst in prop::option::of(any::<u32>()),
+        lineage in prop::option::of(lineage_set()),
+    ) {
+        let kind = FRAME_KINDS[kind_ix];
+        let rec = TraceRecord::PacketTx { t_ns, node, tx, kind, bytes, dst, lineage: lineage.clone() };
+        let p = parsed(&rec);
+        prop_assert_eq!(p.u64_field("t_ns"), Some(t_ns));
+        prop_assert_eq!(p.u32_field("node"), Some(node));
+        prop_assert_eq!(p.u64_field("tx"), Some(tx));
+        prop_assert_eq!(p.str_field("kind"), Some(kind));
+        prop_assert_eq!(p.u32_field("bytes"), Some(bytes));
+        prop_assert_eq!(p.u32_field("dst"), dst);
+        prop_assert_eq!(p.str_field("lineage").map(str::to_string), lineage);
+    }
+
+    #[test]
+    fn packet_rx_roundtrips(
+        t_ns in any::<u64>(),
+        node in any::<u32>(),
+        from in any::<u32>(),
+        tx in any::<u64>(),
+        bytes in any::<u32>(),
+    ) {
+        let p = parsed(&TraceRecord::PacketRx { t_ns, node, from, tx, bytes });
+        prop_assert_eq!(p.u64_field("t_ns"), Some(t_ns));
+        prop_assert_eq!(p.u32_field("node"), Some(node));
+        prop_assert_eq!(p.u32_field("from"), Some(from));
+        prop_assert_eq!(p.u64_field("tx"), Some(tx));
+        prop_assert_eq!(p.u32_field("bytes"), Some(bytes));
+    }
+
+    #[test]
+    fn packet_drop_roundtrips(
+        t_ns in any::<u64>(),
+        node in any::<u32>(),
+        reason_ix in 0usize..DropReason::ALL.len(),
+        tx in prop::option::of(any::<u64>()),
+    ) {
+        let reason = DropReason::ALL[reason_ix];
+        let p = parsed(&TraceRecord::PacketDrop { t_ns, node, reason, tx });
+        prop_assert_eq!(p.u64_field("t_ns"), Some(t_ns));
+        prop_assert_eq!(p.u32_field("node"), Some(node));
+        prop_assert_eq!(p.str_field("reason"), Some(reason.name()));
+        prop_assert_eq!(p.str_field("reason").and_then(DropReason::parse), Some(reason));
+        prop_assert_eq!(p.u64_field("tx"), tx);
+    }
+
+    #[test]
+    fn collision_roundtrips(t_ns in any::<u64>(), node in any::<u32>()) {
+        let p = parsed(&TraceRecord::Collision { t_ns, node });
+        prop_assert_eq!(p.u64_field("t_ns"), Some(t_ns));
+        prop_assert_eq!(p.u32_field("node"), Some(node));
+    }
+
+    #[test]
+    fn energy_debit_roundtrips_floats_bit_exact(
+        t_ns in any::<u64>(),
+        node in any::<u32>(),
+        state_ix in 0usize..ENERGY_STATES.len(),
+        joules in 0.0f64..1e9,
+    ) {
+        let state = ENERGY_STATES[state_ix];
+        let p = parsed(&TraceRecord::EnergyDebit { t_ns, node, state, joules });
+        prop_assert_eq!(p.u64_field("t_ns"), Some(t_ns));
+        prop_assert_eq!(p.u32_field("node"), Some(node));
+        prop_assert_eq!(p.str_field("state"), Some(state));
+        // Rust's shortest-round-trip Display guarantees parse-back equality
+        // to the last bit — the property the trace auditor's exact energy
+        // reconciliation rests on.
+        prop_assert_eq!(p.f64_field("joules"), Some(joules));
+    }
+
+    #[test]
+    fn gradient_reinforce_roundtrips(
+        t_ns in any::<u64>(),
+        node in any::<u32>(),
+        from in any::<u32>(),
+        kind_ix in 0usize..REINFORCE_KINDS.len(),
+    ) {
+        let kind = REINFORCE_KINDS[kind_ix];
+        let p = parsed(&TraceRecord::GradientReinforce { t_ns, node, from, kind });
+        prop_assert_eq!(p.u64_field("t_ns"), Some(t_ns));
+        prop_assert_eq!(p.u32_field("node"), Some(node));
+        prop_assert_eq!(p.u32_field("from"), Some(from));
+        prop_assert_eq!(p.str_field("kind"), Some(kind));
+    }
+
+    #[test]
+    fn tree_edge_roundtrips(t_ns in any::<u64>(), node in any::<u32>(), parent in any::<u32>()) {
+        let p = parsed(&TraceRecord::TreeEdge { t_ns, node, parent });
+        prop_assert_eq!(p.u64_field("t_ns"), Some(t_ns));
+        prop_assert_eq!(p.u32_field("node"), Some(node));
+        prop_assert_eq!(p.u32_field("parent"), Some(parent));
+    }
+
+    #[test]
+    fn agg_merge_roundtrips_lineage_sets(
+        t_ns in any::<u64>(),
+        node in any::<u32>(),
+        inputs in any::<u32>(),
+        cost in 0.0f64..1e6,
+        ids in prop::collection::vec((any::<u32>(), any::<u32>()), 1..8),
+    ) {
+        let lineage: Vec<LineageId> =
+            ids.into_iter().map(|(src, seq)| LineageId::new(src, seq)).collect();
+        let wire = join_lineage(lineage.iter().copied());
+        let rec = TraceRecord::AggMerge {
+            t_ns,
+            node,
+            inputs,
+            items: lineage.len() as u32,
+            cost,
+            lineage: wire.clone(),
+        };
+        let p = parsed(&rec);
+        prop_assert_eq!(p.u64_field("t_ns"), Some(t_ns));
+        prop_assert_eq!(p.u32_field("node"), Some(node));
+        prop_assert_eq!(p.u32_field("inputs"), Some(inputs));
+        prop_assert_eq!(p.u32_field("items"), Some(lineage.len() as u32));
+        prop_assert_eq!(p.f64_field("cost"), Some(cost));
+        // The comma-joined set survives the quoted-value scan and splits
+        // back into exactly the ids that were joined, in order.
+        prop_assert_eq!(p.str_field("lineage"), Some(wire.as_str()));
+        prop_assert_eq!(split_lineage(p.str_field("lineage").unwrap_or("")), lineage);
+    }
+
+    #[test]
+    fn event_gen_roundtrips(t_ns in any::<u64>(), node in any::<u32>(), seq in any::<u32>()) {
+        let p = parsed(&TraceRecord::EventGen { t_ns, node, seq });
+        prop_assert_eq!(p.u64_field("t_ns"), Some(t_ns));
+        prop_assert_eq!(p.u32_field("node"), Some(node));
+        prop_assert_eq!(p.u32_field("seq"), Some(seq));
+    }
+
+    #[test]
+    fn event_deliver_roundtrips(
+        t_ns in any::<u64>(),
+        node in any::<u32>(),
+        src in any::<u32>(),
+        seq in any::<u32>(),
+        gen_ns in any::<u64>(),
+    ) {
+        let p = parsed(&TraceRecord::EventDeliver { t_ns, node, src, seq, gen_ns });
+        prop_assert_eq!(p.u64_field("t_ns"), Some(t_ns));
+        prop_assert_eq!(p.u32_field("node"), Some(node));
+        prop_assert_eq!(p.u32_field("src"), Some(src));
+        prop_assert_eq!(p.u32_field("seq"), Some(seq));
+        prop_assert_eq!(p.u64_field("gen_ns"), Some(gen_ns));
+    }
+
+    #[test]
+    fn item_drop_roundtrips(
+        t_ns in any::<u64>(),
+        node in any::<u32>(),
+        src in any::<u32>(),
+        seq in any::<u32>(),
+        reason_ix in 0usize..DropReason::ALL.len(),
+    ) {
+        let reason = DropReason::ALL[reason_ix];
+        let p = parsed(&TraceRecord::ItemDrop { t_ns, node, src, seq, reason });
+        prop_assert_eq!(p.u64_field("t_ns"), Some(t_ns));
+        prop_assert_eq!(p.u32_field("node"), Some(node));
+        prop_assert_eq!(p.u32_field("src"), Some(src));
+        prop_assert_eq!(p.u32_field("seq"), Some(seq));
+        prop_assert_eq!(p.str_field("reason").and_then(DropReason::parse), Some(reason));
+    }
+
+    #[test]
+    fn run_metrics_roundtrips(
+        t_ns in any::<u64>(),
+        generated in any::<u64>(),
+        distinct in any::<u64>(),
+        delay_sum_s in 0.0f64..1e6,
+        sinks in any::<u32>(),
+        total_energy_j in 0.0f64..1e9,
+    ) {
+        let p = parsed(&TraceRecord::RunMetrics {
+            t_ns, generated, distinct, delay_sum_s, sinks, total_energy_j,
+        });
+        prop_assert_eq!(p.u64_field("t_ns"), Some(t_ns));
+        prop_assert_eq!(p.u64_field("generated"), Some(generated));
+        prop_assert_eq!(p.u64_field("distinct"), Some(distinct));
+        prop_assert_eq!(p.f64_field("delay_sum_s"), Some(delay_sum_s));
+        prop_assert_eq!(p.u32_field("sinks"), Some(sinks));
+        prop_assert_eq!(p.f64_field("total_energy_j"), Some(total_energy_j));
+    }
+
+    #[test]
+    fn profile_roundtrips(
+        label_ix in 0usize..4,
+        count in any::<u64>(),
+        total_ns in any::<u64>(),
+        max_ns in any::<u64>(),
+    ) {
+        // Labels are event-type names: plain identifiers, no escapes needed.
+        let label = ["dispatch", "mac_timer", "proto_timer", "snapshot"][label_ix].to_string();
+        let p = parsed(&TraceRecord::Profile { label: label.clone(), count, total_ns, max_ns });
+        prop_assert_eq!(p.str_field("label").map(str::to_string), Some(label));
+        prop_assert_eq!(p.u64_field("count"), Some(count));
+        prop_assert_eq!(p.u64_field("total_ns"), Some(total_ns));
+        prop_assert_eq!(p.u64_field("max_ns"), Some(max_ns));
+    }
+
+    #[test]
+    fn snapshot_roundtrips(
+        t_ns in any::<u64>(),
+        node in any::<u32>(),
+        energy_j in 0.0f64..1e9,
+        queue in any::<u32>(),
+        cache in any::<u32>(),
+    ) {
+        let p = parsed(&TraceRecord::Snapshot { t_ns, node, energy_j, queue, cache });
+        prop_assert_eq!(p.u64_field("t_ns"), Some(t_ns));
+        prop_assert_eq!(p.u32_field("node"), Some(node));
+        prop_assert_eq!(p.f64_field("energy_j"), Some(energy_j));
+        prop_assert_eq!(p.u32_field("queue"), Some(queue));
+        prop_assert_eq!(p.u32_field("cache"), Some(cache));
+    }
+
+    #[test]
+    fn run_end_roundtrips(
+        t_ns in any::<u64>(),
+        events in any::<u64>(),
+        total_energy_j in 0.0f64..1e9,
+    ) {
+        let p = parsed(&TraceRecord::RunEnd { t_ns, events, total_energy_j });
+        prop_assert_eq!(p.u64_field("t_ns"), Some(t_ns));
+        prop_assert_eq!(p.u64_field("events"), Some(events));
+        prop_assert_eq!(p.f64_field("total_energy_j"), Some(total_energy_j));
+    }
+
+    #[test]
+    fn non_object_garbage_is_rejected(bytes in prop::collection::vec(0u32..95, 0..60)) {
+        // Anything that does not open with '{' can never parse; the parser
+        // must reject it with None, never a panic. The leading 'x' pins the
+        // first (trimmed) character away from '{'.
+        let garbage: String = std::iter::once('x')
+            .chain(bytes.into_iter().map(|b| (b' ' + b as u8) as char))
+            .collect();
+        prop_assert_eq!(parse_line(&garbage), None);
+    }
+
+    #[test]
+    fn truncated_records_are_rejected(
+        t_ns in any::<u64>(),
+        node in any::<u32>(),
+        cut in any::<u64>(),
+    ) {
+        // Flat records contain exactly one '}', at the very end — so any
+        // proper prefix is malformed and must parse to None without panics.
+        let line = TraceRecord::Snapshot { t_ns, node, energy_j: 0.5, queue: 1, cache: 2 }
+            .to_json();
+        let cut = (cut as usize) % line.len();
+        prop_assert_eq!(parse_line(&line[..cut]), None, "prefix of len {}", cut);
+    }
+}

@@ -1,0 +1,143 @@
+#!/usr/bin/env bash
+# Perf regression gate for PR 3 (observability layer): re-run the PR 2
+# baseline sweep, measure the dispatch profiler's wall-clock overhead, and
+# join everything into BENCH_PR3.json (per-job best-of-N over BENCH_REPS
+# repetitions, default 5; the jobs arrays record every rep). Exits 1 if mean
+# events/sec regressed more than 10% against the recorded BENCH_PR2.json.
+# bash + grep/sed/awk only — no jq.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR3.json}"
+baseline_ref="BENCH_PR2.json"
+reps="${BENCH_REPS:-5}"
+base_log="$(mktemp)"
+prof_log="$(mktemp)"
+try_log="$(mktemp)"
+trap 'rm -f "$base_log" "$prof_log" "$try_log" "$out.tmp"' EXIT
+
+cargo build --release -p wsn-bench >/dev/null
+
+# Serial (--jobs 1) so per-job wall times are not distorted by core
+# sharing; $reps repetitions per mode with per-job minima so a
+# background-noise spike in any single ~20 ms job cannot fake a regression
+# (or hide one) — each job's best-of-$reps approaches its true cost.
+common=(--no-csv --progress --jobs 1)
+gate_sweep=(--quick --fields 2 --duration 30)
+over_sweep=(--quick --fields 1 --duration 300)
+one_sweep() { # one_sweep OUT_LOG [flags...] — appends one rep
+    local keep="$1"
+    shift
+    cargo run --release -p wsn-bench --bin fig8 -- "${common[@]}" "$@" \
+        >/dev/null 2>"$try_log"
+    cat "$try_log" >>"$keep"
+}
+
+# All helpers accept a (possibly multi-rep) progress log or a BENCH_PR*.json
+# artifact (whose job lines are indented), hence the unanchored match.
+job_walls() { # per-(point,field,scheme) minimum wall ms, one per line
+    sed -n 's/.*"job":"done","point":\([0-9]*\),"field":\([0-9]*\),"scheme":"\([a-z]*\)".*"wall_ms":\([0-9.]*\).*/\1_\2_\3 \4/p' "$1" |
+        awk '{if (!($1 in m) || $2 < m[$1]) m[$1] = $2}
+             END {for (k in m) print m[k]}'
+}
+wall_sum() { # total wall ms, summing each job's best rep
+    job_walls "$1" | awk '{s+=$1} END {printf "%.1f", s}'
+}
+eps_mean() { # mean events_per_sec, each job's best rep
+    sed -n 's/.*"job":"done","point":\([0-9]*\),"field":\([0-9]*\),"scheme":"\([a-z]*\)".*"events_per_sec":\([0-9]*\).*/\1_\2_\3 \4/p' "$1" |
+        awk '{if (!($1 in m) || $2 > m[$1]) m[$1] = $2}
+             END {s = 0; n = 0; for (k in m) {s += m[k]; n += 1}
+                  printf "%.0f", s / n}'
+}
+
+# Interleave the two modes, alternating which goes first, so slow drift
+# (CPU frequency, background load) hits both equally instead of skewing
+# their difference. The regression sweep mirrors BENCH_PR2.json exactly;
+# the profiler-overhead pair uses 300 s runs because the ~20 ms quick jobs
+# are smaller than this machine's scheduling noise.
+: >"$base_log"
+: >"$prof_log"
+for i in $(seq "$reps"); do
+    if [ $((i % 2)) -eq 1 ]; then
+        one_sweep "$base_log" "${gate_sweep[@]}"
+        one_sweep "$prof_log" "${gate_sweep[@]}" --profile
+    else
+        one_sweep "$prof_log" "${gate_sweep[@]}" --profile
+        one_sweep "$base_log" "${gate_sweep[@]}"
+    fi
+done
+
+over_base_log="$(mktemp)"
+over_prof_log="$(mktemp)"
+trap 'rm -f "$base_log" "$prof_log" "$try_log" "$over_base_log" "$over_prof_log" "$out.tmp"' EXIT
+# The overhead difference is a few percent of wall time — smaller than
+# single-rep noise — so it gets a deeper rep count than the gate sweep.
+over_reps="${BENCH_OVER_REPS:-$((reps + 3))}"
+for i in $(seq "$over_reps"); do
+    if [ $((i % 2)) -eq 1 ]; then
+        one_sweep "$over_base_log" "${over_sweep[@]}"
+        one_sweep "$over_prof_log" "${over_sweep[@]}" --profile
+    else
+        one_sweep "$over_prof_log" "${over_sweep[@]}" --profile
+        one_sweep "$over_base_log" "${over_sweep[@]}"
+    fi
+done
+
+jobs_n="$(grep -c '^{"job"' "$base_log")"
+test "$jobs_n" -gt 0
+grep -q '"profile_ns"' "$prof_log"  # the profiler actually ran
+
+eps_now="$(eps_mean "$base_log")"
+base_wall="$(wall_sum "$over_base_log")"
+prof_wall="$(wall_sum "$over_prof_log")"
+overhead_pct="$(awk -v b="$base_wall" -v p="$prof_wall" \
+    'BEGIN {printf "%.1f", (p - b) * 100.0 / b}')"
+
+{
+    printf '{"bench":"fig8 --quick --fields 2 --duration 30 --jobs 1",\n'
+    printf ' "reps":%s,\n' "$reps"
+    printf ' "events_per_sec_mean":%s,\n' "$eps_now"
+    printf ' "overhead_bench":"fig8 --quick --fields 1 --duration 300 --jobs 1",\n'
+    printf ' "wall_ms_total":%s,\n' "$base_wall"
+    printf ' "profiled_wall_ms_total":%s,\n' "$prof_wall"
+    printf ' "profiler_overhead_pct":%s,\n' "$overhead_pct"
+    printf ' "jobs":[\n'
+    grep '^{"job"' "$base_log" | sed 's/^/  /;$!s/$/,/'
+    printf ' ],\n'
+    printf ' "profiled_jobs":[\n'
+    grep '^{"job"' "$prof_log" | sed 's/^/  /;$!s/$/,/'
+    printf ' ]}\n'
+} >"$out.tmp"
+mv "$out.tmp" "$out"
+echo "wrote $out ($jobs_n job records, profiler overhead ${overhead_pct}% wall)"
+
+gate() { # gate EPS REF — 0 inside the 10% budget, 1 regressed
+    awk -v now="$1" -v ref="$2" 'BEGIN {exit !(now >= ref * 0.9)}'
+}
+
+if [ -f "$baseline_ref" ]; then
+    eps_ref="$(eps_mean "$baseline_ref")"
+    echo "mean events/sec: $eps_now (reference $eps_ref in $baseline_ref)"
+    if ! gate "$eps_now" "$eps_ref"; then
+        # A shared box can stall for whole seconds; re-measure once before
+        # declaring a real regression, folding the extra reps in.
+        echo "gate missed; re-measuring before failing..."
+        for _ in $(seq "$reps"); do
+            one_sweep "$base_log" "${gate_sweep[@]}"
+        done
+        eps_now="$(eps_mean "$base_log")"
+        echo "re-measured mean events/sec: $eps_now"
+    fi
+    if gate "$eps_now" "$eps_ref"; then
+        awk -v now="$eps_now" -v ref="$eps_ref" 'BEGIN {
+            printf "OK: within the 10%% regression budget (%+.1f%%)\n",
+                   (now - ref) * 100.0 / ref}'
+    else
+        awk -v now="$eps_now" -v ref="$eps_ref" 'BEGIN {
+            printf "FAIL: events/sec regressed %.1f%% (>10%% budget)\n",
+                   (ref - now) * 100.0 / ref}'
+        exit 1
+    fi
+else
+    echo "note: no $baseline_ref reference; skipping the regression gate"
+fi

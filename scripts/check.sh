@@ -33,4 +33,14 @@ report="$(cargo run --release -p wsn-bench --bin trace_report -- "$tracedir/a")"
 echo "$report" | grep -q "per-node energy histogram"
 echo "$report" | grep -q "hottest nodes"
 
+echo "==> audit smoke: every trace passes its conservation audit"
+# trace_audit exits 1 on any violation: tx/rx pairing, energy
+# reconciliation, and lineage-recomputed metrics must all hold exactly.
+audit="$(cargo run --release -p wsn-bench --bin trace_audit -- "$tracedir/a")"
+echo "$audit" | tail -1
+echo "$audit" | grep -q ", 0 violation(s)"
+
+echo "==> perf gate: scripts/bench_compare.sh"
+./scripts/bench_compare.sh
+
 echo "==> all checks passed"

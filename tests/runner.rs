@@ -139,6 +139,7 @@ fn collect_points_surfaces_the_first_error_in_job_order() {
         max_events: Some(10),
         progress: false,
         trace: None,
+        profile: false,
     };
     let err = collect_points(&runner, &xs, &jobs).expect_err("budget of 10 must trip");
     assert_eq!(err.point_index, 0);

@@ -123,6 +123,61 @@ fn tracing_does_not_perturb_the_simulation() {
 }
 
 #[test]
+fn profiling_does_not_perturb_metrics() {
+    let exp = experiment(50, 21);
+    let untraced = exp.run_budgeted(u64::MAX).expect("no budget");
+    // Profiler only (no trace): bit-identical metrics, every dispatched
+    // event profiled.
+    let profile = wsn::sim::shared_profile(wsn::sim::ProfileSink::new());
+    let profiled = exp
+        .run_budgeted_instrumented(u64::MAX, None, Some(profile.clone()))
+        .expect("no budget");
+    assert_eq!(untraced.record, profiled.record);
+    assert_eq!(untraced.accounting, profiled.accounting);
+    assert_eq!(
+        profile.borrow().total_count(),
+        profiled.accounting.events_processed,
+        "the profiler must see every dispatched event"
+    );
+    // Traced + profiled: still bit-identical, and the profile lands in the
+    // trace as `profile` records with matching totals.
+    let sink = Rc::new(RefCell::new(JsonlSink::new(Vec::new())));
+    let handle: SharedSink = sink.clone();
+    let profile = wsn::sim::shared_profile(wsn::sim::ProfileSink::new());
+    let both = exp
+        .run_budgeted_instrumented(
+            u64::MAX,
+            Some((handle, TraceOptions::default())),
+            Some(profile.clone()),
+        )
+        .expect("no budget");
+    assert_eq!(untraced.record, both.record);
+    let bytes = Rc::try_unwrap(sink)
+        .expect("engine released its handle")
+        .into_inner()
+        .into_inner()
+        .expect("Vec writer cannot fail");
+    let summary = TraceSummary::from_text(&String::from_utf8(bytes).expect("ASCII JSON"));
+    assert!(!summary.profile.is_empty(), "profile records in the trace");
+    assert_eq!(
+        summary.profile.iter().map(|r| r.count).sum::<u64>(),
+        profile.borrow().total_count()
+    );
+}
+
+#[test]
+fn profile_records_stay_out_of_unprofiled_traces() {
+    // Wall-clock numbers are nondeterministic; letting them leak into a
+    // default trace would break the byte-identical contract above.
+    let exp = experiment(50, 21);
+    let (bytes, _) = traced_bytes(&exp, full_options());
+    let text = String::from_utf8(bytes).expect("ASCII JSON");
+    let summary = TraceSummary::from_text(&text);
+    assert!(summary.profile.is_empty());
+    assert!(!text.contains("\"ev\":\"profile\""));
+}
+
+#[test]
 fn protocol_records_appear_in_a_real_run() {
     let exp = experiment(70, 3);
     let (bytes, _) = traced_bytes(&exp, TraceOptions::default());

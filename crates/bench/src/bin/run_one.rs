@@ -9,10 +9,12 @@
 //!
 //! `--max-events N` arms the watchdog: the run aborts (exit status 2) if it
 //! would dispatch more than `N` simulator events before the deadline.
+//! `--mac {csma,rtscts,ideal}` picks the MAC layer (default: plain
+//! CSMA/CA+ACK).
 
 use wsn_diffusion::{DiffusionConfig, DiffusionNode, MsgKind, Role, Scheme};
 use wsn_metrics::RunRecord;
-use wsn_net::{NetConfig, Network};
+use wsn_net::{MacKind, NetConfig, Network};
 use wsn_scenario::{render_svg, FailureConfig, RenderOverlay, ScenarioSpec, SourcePlacement};
 use wsn_sim::SimDuration;
 
@@ -25,6 +27,7 @@ struct Args {
     sinks: usize,
     failures: bool,
     random_sources: bool,
+    mac: MacKind,
     svg: Option<String>,
     max_events: Option<u64>,
 }
@@ -39,6 +42,7 @@ fn parse_args() -> Args {
         sinks: 1,
         failures: false,
         random_sources: false,
+        mac: MacKind::default(),
         svg: None,
         max_events: None,
     };
@@ -60,6 +64,7 @@ fn parse_args() -> Args {
             "--sinks" => args.sinks = val().parse().expect("--sinks"),
             "--failures" => args.failures = true,
             "--random-sources" => args.random_sources = true,
+            "--mac" => args.mac = val().parse().expect("--mac (csma|rtscts|ideal)"),
             "--svg" => args.svg = Some(val()),
             "--max-events" => args.max_events = Some(val().parse().expect("--max-events")),
             other => panic!("unknown argument {other:?}; see the module docs of run_one for usage"),
@@ -80,6 +85,7 @@ fn main() {
             SourcePlacement::PAPER_CORNER
         },
         failures: args.failures.then(FailureConfig::default),
+        mac: args.mac,
         duration: SimDuration::from_secs(args.duration_s),
         seed: args.seed,
         ..ScenarioSpec::default()
@@ -97,7 +103,10 @@ fn main() {
     let cfg = DiffusionConfig::for_scheme(args.scheme);
     let mut net = Network::new(
         instance.field.topology.clone(),
-        NetConfig::default(),
+        NetConfig {
+            mac: spec.mac,
+            ..NetConfig::default()
+        },
         spec.seed,
         |id| {
             let (is_source, is_sink) = instance.role_of(id);

@@ -54,10 +54,14 @@ impl Experiment {
     /// An experiment over `scenario` with `scheme` and all other parameters
     /// at the paper's defaults.
     pub fn new(scenario: ScenarioSpec, scheme: Scheme) -> Self {
+        let net = NetConfig {
+            mac: scenario.mac,
+            ..NetConfig::default()
+        };
         Experiment {
             scenario,
             diffusion: DiffusionConfig::for_scheme(scheme),
-            net: NetConfig::default(),
+            net,
         }
     }
 

@@ -120,6 +120,12 @@ pub fn sweep_jobs(
     for (pi, &x) in xs.iter().enumerate() {
         for f in 0..fields {
             let spec = make_spec(pi, f);
+            // The spec's MAC choice rides into the run's radio config, so
+            // MAC ablations are plain scenario sweeps.
+            let net = NetConfig {
+                mac: spec.mac,
+                ..NetConfig::default()
+            };
             for scheme in [Scheme::Greedy, Scheme::Opportunistic] {
                 let mut config = configure(pi, scheme);
                 config.scheme = scheme;
@@ -130,7 +136,7 @@ pub fn sweep_jobs(
                     scheme,
                     spec: spec.clone(),
                     config,
-                    net: NetConfig::default(),
+                    net: net.clone(),
                     max_events: None,
                 });
             }

@@ -3,6 +3,7 @@
 use wsn_sim::SimDuration;
 
 use crate::energy::EnergyModel;
+use crate::mac::MacKind;
 
 /// Radio + MAC parameters.
 ///
@@ -46,11 +47,13 @@ pub struct NetConfig {
     /// Link-layer retransmission limit for unicast frames (802.11 short
     /// retry limit: 7). Broadcast frames are never acknowledged or retried.
     pub retry_limit: u32,
-    /// Exchange RTS/CTS before every unicast data frame (ns-2's default for
-    /// its 802.11 model). Adds two control frames per unicast — more
-    /// per-transmission overhead, fewer hidden-terminal data collisions.
-    /// Off by default; the `mac_overhead` ablation measures its effect.
-    pub rts_cts: bool,
+    /// Which MAC the run uses. The default ([`MacKind::Csma`]) is plain
+    /// CSMA/CA+ACK; [`MacKind::RtsCts`] adds the RTS/CTS handshake before
+    /// every unicast data frame (ns-2's default for its 802.11 model — more
+    /// per-transmission overhead, fewer hidden-terminal data collisions);
+    /// [`MacKind::Ideal`] is the contention-free lower bound. The
+    /// `mac_overhead` ablation compares all three.
+    pub mac: MacKind,
     /// RTS frame size (802.11: 20 bytes).
     pub rts_bytes: u32,
     /// CTS frame size (802.11: 14 bytes).
@@ -97,7 +100,7 @@ impl Default for NetConfig {
             sifs: SimDuration::from_micros(10),
             ack_bytes: 14,
             retry_limit: 7,
-            rts_cts: false,
+            mac: MacKind::Csma,
             rts_bytes: 20,
             cts_bytes: 14,
             energy: EnergyModel::PAPER,
@@ -135,7 +138,7 @@ mod tests {
     fn cts_timeout_covers_cts_air_time() {
         let cfg = NetConfig::default();
         assert!(cfg.cts_timeout() > cfg.sifs + cfg.tx_duration(cfg.cts_bytes));
-        assert!(!cfg.rts_cts, "RTS/CTS is opt-in");
+        assert_eq!(cfg.mac, MacKind::Csma, "RTS/CTS is opt-in");
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! The engine's event vocabulary and the run watchdog's error type.
+//!
+//! [`Ev`] is the complete set of things the simulator can hand back to the
+//! dispatcher — every layer schedules its future work as one of these
+//! variants, and `dispatch_inner` in [`engine`](crate::engine) routes each
+//! one to the layer that owns it. The label table and sampling constant
+//! here exist for the dispatch profiler, which buckets by event type.
+
+use wsn_sim::SimTime;
+
+use crate::node::NodeId;
+use crate::packet::TxId;
+
+/// Engine events.
+#[derive(Debug)]
+pub(crate) enum Ev<T> {
+    /// A node's MAC backoff expired; sense the medium and maybe transmit.
+    BackoffDone { node: NodeId },
+    /// A transmission completed; finalize receptions at every hearer.
+    TxEnd { node: NodeId, tx: TxId },
+    /// The addressed receiver of a unicast frame owes an ACK (SIFS later).
+    AckDue {
+        node: NodeId,
+        acked: TxId,
+        to: NodeId,
+    },
+    /// The addressed receiver of an RTS owes a CTS (SIFS later).
+    CtsDue { node: NodeId, to: NodeId },
+    /// A CTS arrived; the sender transmits its data frame (SIFS later).
+    DataDue { node: NodeId },
+    /// A unicast sender's ACK (or CTS) wait expired; retry or give up.
+    AckTimeout { node: NodeId, tx: TxId },
+    /// A protocol timer fired.
+    Timer { node: NodeId, timer: T },
+    /// Scheduled node failure.
+    NodeDown { node: NodeId },
+    /// Scheduled node recovery.
+    NodeUp { node: NodeId },
+    /// Periodic per-node telemetry snapshot (only scheduled while a trace
+    /// sink with a snapshot cadence is installed).
+    Snapshot,
+}
+
+/// Event-type labels the dispatch profiler buckets by, indexed by
+/// [`Ev::label_ix`].
+pub(super) const EV_LABELS: [&str; 10] = [
+    "backoff_done",
+    "tx_end",
+    "ack_due",
+    "cts_due",
+    "data_due",
+    "ack_timeout",
+    "timer",
+    "node_down",
+    "node_up",
+    "snapshot",
+];
+
+/// One dispatch in this many opens a wall-clock profiling span; see
+/// `Network::dispatch`. Dispatch counts stay exact — only the time
+/// measurement is sampled (and scaled back up at merge), keeping the
+/// profiler's clock-read cost well below the cost of dispatch itself.
+pub(super) const PROFILE_SAMPLE: u32 = 8;
+
+impl<T> Ev<T> {
+    /// The event type's [`EV_LABELS`] bucket index — a plain discriminant
+    /// map so the dispatch hot path indexes a fixed array instead of
+    /// hashing or scanning label strings.
+    pub(super) fn label_ix(&self) -> usize {
+        match self {
+            Ev::BackoffDone { .. } => 0,
+            Ev::TxEnd { .. } => 1,
+            Ev::AckDue { .. } => 2,
+            Ev::CtsDue { .. } => 3,
+            Ev::DataDue { .. } => 4,
+            Ev::AckTimeout { .. } => 5,
+            Ev::Timer { .. } => 6,
+            Ev::NodeDown { .. } => 7,
+            Ev::NodeUp { .. } => 8,
+            Ev::Snapshot => 9,
+        }
+    }
+}
+
+/// Error from [`Network::run_until_capped`](crate::Network::run_until_capped):
+/// the simulation hit its event budget with work still pending before the
+/// deadline.
+///
+/// This is the engine half of the run watchdog: a runaway simulation (a
+/// protocol bug scheduling timers in a tight loop, a pathological topology)
+/// becomes a reported error instead of a hung sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventBudgetExceeded {
+    /// The budget that was exceeded.
+    pub budget: u64,
+    /// Events actually dispatched (≥ budget).
+    pub events_processed: u64,
+    /// The simulated clock when the run was cut off.
+    pub sim_time: SimTime,
+    /// The deadline the run was trying to reach.
+    pub deadline: SimTime,
+}
+
+impl std::fmt::Display for EventBudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "event budget {} exhausted at simulated time {} (deadline {}): {} events processed",
+            self.budget, self.sim_time, self.deadline, self.events_processed
+        )
+    }
+}
+
+impl std::error::Error for EventBudgetExceeded {}

@@ -1,0 +1,51 @@
+//! Node failure and recovery semantics.
+//!
+//! Scheduled `NodeDown`/`NodeUp` events land here. A failing node loses, in
+//! order: the frame it was transmitting (every in-progress reception of it
+//! is cut — see [`Phy::fail_transmission`](crate::phy::Phy)), its power, its
+//! in-progress receptions, its MAC state (queue, backoff, pending
+//! handshake — via [`Mac::on_node_down`](crate::mac::Mac)), and all of its
+//! pending protocol timers. Recovery just restores power; protocols re-arm
+//! themselves from their `on_up` callback. Both transitions close the
+//! node's energy-meter interval, so a down node draws nothing.
+
+use wsn_sim::EventId;
+
+use crate::engine::EngineCore;
+use crate::mac::Mac;
+
+impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> EngineCore<M, T> {
+    /// Applies a scheduled failure to node `i`. Returns `false` (a no-op) if
+    /// the node is already down.
+    pub(crate) fn apply_down(&mut self, i: usize) -> bool {
+        if !self.phy.nodes[i].up {
+            return false;
+        }
+        let now = self.sim.now();
+        self.phy.fail_transmission(now, i);
+        self.phy.nodes[i].up = false;
+        self.phy.clear_receptions(i);
+        {
+            let (mac, mut ctx) = self.mac_split();
+            mac.on_node_down(&mut ctx, i);
+        }
+        let timers: Vec<EventId> = self.timers[i].drain().collect();
+        for t in timers {
+            self.sim.cancel(t);
+        }
+        self.phy.update_meter(i, now);
+        true
+    }
+
+    /// Applies a scheduled recovery to node `i`. Returns `false` (a no-op)
+    /// if the node is already up.
+    pub(crate) fn apply_up(&mut self, i: usize) -> bool {
+        if self.phy.nodes[i].up {
+            return false;
+        }
+        let now = self.sim.now();
+        self.phy.nodes[i].up = true;
+        self.phy.update_meter(i, now);
+        true
+    }
+}

@@ -1,11 +1,14 @@
 //! # wsn-net — packet-level wireless sensor network substrate
 //!
-//! The network layer under the directed-diffusion protocols: node placement
-//! ([`Position`], [`Rect`]), disc-model connectivity ([`Topology`]), a
-//! CSMA/CA broadcast MAC with receiver-side collisions, a three-state radio
-//! energy meter matching the paper's WINS-NG-style power figures
-//! ([`EnergyModel::PAPER`]: idle 35 mW / rx 395 mW / tx 660 mW at 1.6 Mbps),
-//! and scheduled node failures.
+//! The network layer under the directed-diffusion protocols, as a layered
+//! stack: node placement ([`Position`], [`Rect`]) and disc-model
+//! connectivity ([`Topology`]); a physical layer (`phy`) with receiver-side
+//! collisions and a three-state radio energy meter matching the paper's
+//! WINS-NG-style power figures ([`EnergyModel::PAPER`]: idle 35 mW /
+//! rx 395 mW / tx 660 mW at 1.6 Mbps); a pluggable MAC layer (`mac`,
+//! selected per run by [`MacKind`]: CSMA/CA+ACK, CSMA/CA with RTS/CTS, or
+//! an ideal contention-free genie); scheduled node failures (`failures`);
+//! and a thin event-dispatching engine tying the layers together.
 //!
 //! Protocols implement the [`Protocol`] trait and run one instance per node
 //! inside a [`Network`]; see the `wsn-diffusion` crate for the directed
@@ -35,8 +38,11 @@
 mod config;
 mod energy;
 mod engine;
+mod failures;
+mod mac;
 mod node;
 mod packet;
+mod phy;
 mod position;
 mod protocol;
 mod topology;
@@ -44,9 +50,11 @@ mod trace;
 
 pub use config::NetConfig;
 pub use energy::{EnergyMeter, EnergyModel, RadioState};
-pub use engine::{EngineCore, EventBudgetExceeded, NetStats, Network, NodeStats};
+pub use engine::{EngineCore, EventBudgetExceeded, Network};
+pub use mac::MacKind;
 pub use node::NodeId;
 pub use packet::{Packet, TxId};
+pub use phy::{NetStats, NodeStats};
 pub use position::{Position, Rect};
 pub use protocol::{Ctx, Protocol, TimerHandle};
 pub use topology::Topology;

@@ -1,0 +1,552 @@
+//! The physical layer: propagation, medium sensing, and collision
+//! bookkeeping.
+//!
+//! [`Phy`] owns everything below the MAC — the topology (disc propagation),
+//! the per-node radio state ([`PhyNode`]: power, energy meter, the frame on
+//! the air, carrier-sense count, in-progress receptions), and the aggregate
+//! [`NetStats`]. Its contract with the MAC layer is two calls:
+//!
+//! * [`Phy::start_frame`] puts a frame on the air: it charges carrier sense
+//!   at every hearer, corrupts overlapping receptions (receiver-side
+//!   collision model, including the half-duplex loss of anything the sender
+//!   was itself receiving), and schedules the `TxEnd`.
+//! * [`Phy::finish_frame`] takes a frame off the air at its `TxEnd`: it
+//!   releases carrier sense, finalizes every reception, and reports the
+//!   result as a [`TxOutcome`] — successful payload deliveries plus any
+//!   control frames (ACK/RTS/CTS) decoded at their addressee — for the MAC
+//!   to act on. The PHY never inspects MAC state; deferred interpretation of
+//!   the outcome is what keeps the layers independent.
+//!
+//! With [`Phy::capture`] set (the ideal contention-free MAC), the collision
+//! machinery is disabled: receivers decode every overlapping frame
+//! (perfect capture, full duplex), so no reception is ever corrupted and no
+//! collision is ever recorded — while carrier-sense counts still drive the
+//! receive-energy model.
+
+use std::rc::Rc;
+
+use wsn_sim::{SimTime, Simulator};
+use wsn_trace::{DropReason, SharedSink, TraceRecord};
+
+use crate::config::NetConfig;
+use crate::energy::{EnergyMeter, RadioState};
+use crate::engine::Ev;
+use crate::node::NodeId;
+use crate::packet::{Packet, TxId};
+use crate::topology::Topology;
+
+/// What a transmission carries.
+#[derive(Debug)]
+pub(crate) enum Frame<M> {
+    /// A protocol frame.
+    Payload(Rc<Packet<M>>),
+    /// A MAC-level acknowledgement for transmission `acked`, addressed to
+    /// `to` (the original sender).
+    Ack { acked: TxId, to: NodeId },
+    /// Request to send, addressed to `to`.
+    Rts { to: NodeId },
+    /// Clear to send, addressed to `to` (the RTS sender).
+    Cts { to: NodeId },
+}
+
+impl<M> Clone for Frame<M> {
+    fn clone(&self) -> Self {
+        match self {
+            Frame::Payload(p) => Frame::Payload(Rc::clone(p)),
+            Frame::Ack { acked, to } => Frame::Ack {
+                acked: *acked,
+                to: *to,
+            },
+            Frame::Rts { to } => Frame::Rts { to: *to },
+            Frame::Cts { to } => Frame::Cts { to: *to },
+        }
+    }
+}
+
+impl<M> Frame<M> {
+    /// The frame kind tag used in trace records.
+    fn kind(&self) -> &'static str {
+        match self {
+            Frame::Payload(_) => "data",
+            Frame::Ack { .. } => "ack",
+            Frame::Rts { .. } => "rts",
+            Frame::Cts { .. } => "cts",
+        }
+    }
+
+    /// The logical destination reported in trace records (`None` for
+    /// broadcast payloads).
+    fn trace_dst(&self) -> Option<u32> {
+        match self {
+            Frame::Payload(p) => p.dst.map(|d| d.0),
+            Frame::Ack { to, .. } | Frame::Rts { to } | Frame::Cts { to } => Some(to.0),
+        }
+    }
+
+    /// The payload's lineage stamp, re-encoded for a trace record. Only
+    /// payloads of traced runs carry one, so this allocates nothing on
+    /// untraced paths.
+    fn trace_lineage(&self) -> Option<String> {
+        match self {
+            Frame::Payload(p) => p.lineage.as_deref().map(str::to_string),
+            _ => None,
+        }
+    }
+}
+
+/// Emits through a pre-cloned sink handle. Emission sites that hold a
+/// `&mut self.nodes[i]` split borrow clone the `Option<Rc>` handle up front
+/// and emit through this instead of [`Phy::emit`].
+fn emit_to(trace: &Option<SharedSink>, rec: TraceRecord) {
+    if let Some(t) = trace {
+        t.borrow_mut().record(&rec);
+    }
+}
+
+/// An in-progress reception at one hearer.
+#[derive(Debug)]
+struct RxEntry<M> {
+    tx: TxId,
+    frame: Frame<M>,
+    corrupted: bool,
+}
+
+/// Per-node transmit/receive counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Frames this node put on the air (payload frames; ACKs are counted in
+    /// [`NodeStats::acks_sent`]).
+    pub tx_frames: u64,
+    /// Payload bytes this node put on the air.
+    pub tx_bytes: u64,
+    /// Payload frames decoded successfully (before logical-destination
+    /// filtering).
+    pub rx_ok: u64,
+    /// Receptions lost to collisions.
+    pub rx_corrupted: u64,
+    /// Frames dropped because the node was down when they were queued.
+    pub dropped_down: u64,
+    /// Unicast retransmissions performed.
+    pub tx_retries: u64,
+    /// Unicast frames abandoned after the retry limit.
+    pub tx_failed: u64,
+    /// MAC acknowledgements transmitted.
+    pub acks_sent: u64,
+    /// RTS frames transmitted (only with
+    /// [`MacKind::RtsCts`](crate::MacKind::RtsCts)).
+    pub rts_sent: u64,
+    /// CTS frames transmitted.
+    pub cts_sent: u64,
+}
+
+/// Aggregate physical-layer statistics for a run.
+#[derive(Debug, Clone, Default)]
+pub struct NetStats {
+    pub(crate) per_node: Vec<NodeStats>,
+    /// Total corrupted receptions (a collision at k hearers counts k times).
+    pub collisions: u64,
+}
+
+impl NetStats {
+    /// Counters for one node.
+    pub fn node(&self, node: NodeId) -> &NodeStats {
+        &self.per_node[node.index()]
+    }
+
+    /// Iterates over all per-node counters.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &NodeStats)> {
+        self.per_node
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (NodeId::from_index(i), s))
+    }
+
+    /// Total payload frames transmitted across all nodes (excludes ACKs).
+    pub fn total_tx_frames(&self) -> u64 {
+        self.per_node.iter().map(|s| s.tx_frames).sum()
+    }
+
+    /// Total payload bytes transmitted across all nodes.
+    pub fn total_tx_bytes(&self) -> u64 {
+        self.per_node.iter().map(|s| s.tx_bytes).sum()
+    }
+
+    /// Total unicast retransmissions.
+    pub fn total_retries(&self) -> u64 {
+        self.per_node.iter().map(|s| s.tx_retries).sum()
+    }
+
+    /// Total unicast frames abandoned after the retry limit.
+    pub fn total_failed(&self) -> u64 {
+        self.per_node.iter().map(|s| s.tx_failed).sum()
+    }
+}
+
+/// Per-node radio state.
+#[derive(Debug)]
+pub(crate) struct PhyNode<M> {
+    pub(crate) up: bool,
+    pub(crate) meter: EnergyMeter,
+    pub(crate) transmitting: Option<TxId>,
+    /// The frame currently on the air (present iff `transmitting` is).
+    in_flight: Option<Frame<M>>,
+    /// Number of in-range transmissions currently on the air (carrier sense).
+    pub(crate) busy_count: u32,
+    active_rx: Vec<RxEntry<M>>,
+}
+
+/// A successfully decoded control frame, reported to the MAC at `TxEnd`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Control {
+    /// A MAC acknowledgement for the sender's transmission `acked`.
+    Ack {
+        /// The transmission being acknowledged.
+        acked: TxId,
+    },
+    /// A request-to-send; the receiver owes a CTS.
+    Rts,
+    /// A clear-to-send; the receiver may transmit its data frame.
+    Cts,
+}
+
+/// Everything the PHY observed when a transmission left the air.
+#[derive(Debug)]
+pub(crate) struct TxOutcome<M> {
+    /// Payload frames decoded at each hearer that passed the logical
+    /// destination filter, in neighbor order — dispatched to protocols by
+    /// the engine.
+    pub(crate) deliveries: Vec<(NodeId, Rc<Packet<M>>)>,
+    /// The addressed receiver that cleanly decoded a unicast payload; under
+    /// an acknowledged MAC it owes the sender an ACK.
+    pub(crate) unicast_decoded: Option<NodeId>,
+    /// Control frames decoded at their addressee, in neighbor order.
+    pub(crate) control: Vec<(NodeId, Control)>,
+}
+
+/// The physical layer: topology, per-node radio state, and the receiver-side
+/// collision model. See the module docs for the `start_frame`/`finish_frame`
+/// contract with the MAC.
+pub(crate) struct Phy<M> {
+    pub(crate) topo: Topology,
+    pub(crate) nodes: Vec<PhyNode<M>>,
+    pub(crate) stats: NetStats,
+    next_tx: u64,
+    /// The installed trace sink, if any. `None` keeps every emission site
+    /// down to a single branch.
+    pub(crate) trace: Option<SharedSink>,
+    /// Perfect-capture mode (the ideal MAC): receivers decode every
+    /// overlapping frame, so nothing is ever corrupted and no collision is
+    /// ever recorded. Carrier sense still counts hearers for the energy
+    /// model.
+    capture: bool,
+}
+
+impl<M: std::fmt::Debug> std::fmt::Debug for Phy<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Manual impl: the sink handle is a trait object with no Debug.
+        f.debug_struct("Phy")
+            .field("topo", &self.topo)
+            .field("nodes", &self.nodes)
+            .field("stats", &self.stats)
+            .field("next_tx", &self.next_tx)
+            .field("trace", &self.trace.is_some())
+            .field("capture", &self.capture)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M: Clone + std::fmt::Debug> Phy<M> {
+    pub(crate) fn new(topo: Topology, cfg: &NetConfig, capture: bool) -> Self {
+        let n = topo.len();
+        let now = SimTime::ZERO;
+        let nodes = (0..n)
+            .map(|_| PhyNode {
+                up: true,
+                meter: EnergyMeter::new(cfg.energy, now),
+                transmitting: None,
+                in_flight: None,
+                busy_count: 0,
+                active_rx: Vec::new(),
+            })
+            .collect();
+        Phy {
+            topo,
+            nodes,
+            stats: NetStats {
+                per_node: vec![NodeStats::default(); n],
+                collisions: 0,
+            },
+            next_tx: 0,
+            trace: None,
+            capture,
+        }
+    }
+
+    /// Whether a trace sink is installed (callers gate expensive record
+    /// assembly on this).
+    pub(crate) fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Emits one trace record if a sink is installed.
+    pub(crate) fn emit(&self, rec: TraceRecord) {
+        if let Some(t) = &self.trace {
+            t.borrow_mut().record(&rec);
+        }
+    }
+
+    /// Puts `frame` on the air from node `i`: updates carrier sense and
+    /// reception state at every hearer and schedules the `TxEnd`.
+    pub(crate) fn start_frame<T: Clone + std::fmt::Debug>(
+        &mut self,
+        sim: &mut Simulator<Ev<T>>,
+        cfg: &NetConfig,
+        i: usize,
+        frame: Frame<M>,
+        bytes: u32,
+    ) -> TxId {
+        let now = sim.now();
+        let t_ns = now.as_nanos();
+        let tx = TxId(self.next_tx);
+        self.next_tx += 1;
+        let trace = self.trace.clone();
+        if trace.is_some() {
+            emit_to(
+                &trace,
+                TraceRecord::PacketTx {
+                    t_ns,
+                    node: i as u32,
+                    tx: tx.0,
+                    kind: frame.kind(),
+                    bytes,
+                    dst: frame.trace_dst(),
+                    lineage: frame.trace_lineage(),
+                },
+            );
+        }
+        let node = &mut self.nodes[i];
+        debug_assert!(node.transmitting.is_none(), "radio already busy");
+        node.transmitting = Some(tx);
+        node.in_flight = Some(frame.clone());
+        if !self.capture {
+            // Half-duplex: anything we were receiving is lost.
+            for rx in &mut node.active_rx {
+                if !rx.corrupted {
+                    rx.corrupted = true;
+                    self.stats.collisions += 1;
+                    emit_to(
+                        &trace,
+                        TraceRecord::Collision {
+                            t_ns,
+                            node: i as u32,
+                        },
+                    );
+                }
+            }
+        }
+        self.update_meter(i, now);
+
+        let sender = NodeId::from_index(i);
+        let neighbors: Vec<NodeId> = self.topo.neighbors(sender).to_vec();
+        for v in neighbors {
+            let vi = v.index();
+            let vn = &mut self.nodes[vi];
+            vn.busy_count += 1;
+            if self.capture {
+                // Perfect capture: every powered hearer decodes the frame,
+                // overlap or not, even while transmitting itself.
+                if vn.up {
+                    vn.active_rx.push(RxEntry {
+                        tx,
+                        frame: frame.clone(),
+                        corrupted: false,
+                    });
+                }
+            } else if vn.up && vn.transmitting.is_none() {
+                // Overlap with any ongoing reception corrupts everything.
+                let corrupted = !vn.active_rx.is_empty();
+                if corrupted {
+                    for rx in &mut vn.active_rx {
+                        if !rx.corrupted {
+                            rx.corrupted = true;
+                            self.stats.collisions += 1;
+                            emit_to(&trace, TraceRecord::Collision { t_ns, node: v.0 });
+                        }
+                    }
+                    self.stats.collisions += 1;
+                    emit_to(&trace, TraceRecord::Collision { t_ns, node: v.0 });
+                }
+                vn.active_rx.push(RxEntry {
+                    tx,
+                    frame: frame.clone(),
+                    corrupted,
+                });
+            }
+            self.update_meter(vi, now);
+        }
+        let duration = cfg.tx_duration(bytes);
+        sim.schedule_after(duration, Ev::TxEnd { node: sender, tx });
+        tx
+    }
+
+    /// Takes transmission `tx` off the air at its `TxEnd`: releases carrier
+    /// sense and finalizes every reception. Returns what the MAC needs to
+    /// act on — payload deliveries and addressee-decoded control frames.
+    pub(crate) fn finish_frame(&mut self, now: SimTime, i: usize, tx: TxId) -> TxOutcome<M> {
+        let t_ns = now.as_nanos();
+        let trace = self.trace.clone();
+        debug_assert_eq!(self.nodes[i].transmitting, Some(tx), "TxEnd out of order");
+        self.nodes[i].transmitting = None;
+        let frame = self.nodes[i].in_flight.take().expect("frame in flight");
+        self.update_meter(i, now);
+
+        let sender = NodeId::from_index(i);
+        let mut outcome = TxOutcome {
+            deliveries: Vec::new(),
+            unicast_decoded: None,
+            control: Vec::new(),
+        };
+        let neighbors: Vec<NodeId> = self.topo.neighbors(sender).to_vec();
+        for v in neighbors {
+            let vi = v.index();
+            let vn = &mut self.nodes[vi];
+            debug_assert!(vn.busy_count > 0, "busy count underflow at {v}");
+            vn.busy_count -= 1;
+            if let Some(pos) = vn.active_rx.iter().position(|r| r.tx == tx) {
+                let entry = vn.active_rx.swap_remove(pos);
+                if entry.corrupted {
+                    self.stats.per_node[vi].rx_corrupted += 1;
+                    emit_to(
+                        &trace,
+                        TraceRecord::PacketDrop {
+                            t_ns,
+                            node: v.0,
+                            reason: DropReason::Collision,
+                            tx: Some(tx.0),
+                        },
+                    );
+                } else if vn.up {
+                    match &entry.frame {
+                        Frame::Payload(pkt) => {
+                            self.stats.per_node[vi].rx_ok += 1;
+                            if pkt.dst == Some(v) {
+                                emit_to(
+                                    &trace,
+                                    TraceRecord::PacketRx {
+                                        t_ns,
+                                        node: v.0,
+                                        from: sender.0,
+                                        tx: tx.0,
+                                        bytes: pkt.bytes,
+                                    },
+                                );
+                                // Addressed unicast: deliver; the MAC
+                                // decides whether an ACK is owed.
+                                outcome.deliveries.push((v, Rc::clone(pkt)));
+                                outcome.unicast_decoded = Some(v);
+                            } else if pkt.dst.is_none() {
+                                emit_to(
+                                    &trace,
+                                    TraceRecord::PacketRx {
+                                        t_ns,
+                                        node: v.0,
+                                        from: sender.0,
+                                        tx: tx.0,
+                                        bytes: pkt.bytes,
+                                    },
+                                );
+                                outcome.deliveries.push((v, Rc::clone(pkt)));
+                            }
+                        }
+                        Frame::Ack { acked, to } => {
+                            if *to == v {
+                                outcome.control.push((v, Control::Ack { acked: *acked }));
+                            }
+                        }
+                        Frame::Rts { to } => {
+                            if *to == v {
+                                outcome.control.push((v, Control::Rts));
+                            }
+                        }
+                        Frame::Cts { to } => {
+                            if *to == v {
+                                outcome.control.push((v, Control::Cts));
+                            }
+                        }
+                    }
+                }
+            }
+            self.update_meter(vi, now);
+        }
+        let _ = frame;
+        outcome
+    }
+
+    /// A radio dying mid-transmission cuts the signal: every in-progress
+    /// reception of that frame fails its checksum. (The carrier-sense
+    /// bookkeeping still releases at the scheduled `TxEnd` — a slight
+    /// overestimate of busy time, never of delivery.) Under perfect capture
+    /// the truncated frame is simply never decoded — no collision is
+    /// recorded.
+    pub(crate) fn fail_transmission(&mut self, now: SimTime, i: usize) {
+        let Some(tx) = self.nodes[i].transmitting else {
+            return;
+        };
+        let trace = self.trace.clone();
+        let me = NodeId::from_index(i);
+        let neighbors: Vec<NodeId> = self.topo.neighbors(me).to_vec();
+        if self.capture {
+            for v in neighbors {
+                self.nodes[v.index()].active_rx.retain(|rx| rx.tx != tx);
+            }
+            return;
+        }
+        for v in neighbors {
+            for rx in &mut self.nodes[v.index()].active_rx {
+                if rx.tx == tx && !rx.corrupted {
+                    rx.corrupted = true;
+                    self.stats.collisions += 1;
+                    emit_to(
+                        &trace,
+                        TraceRecord::Collision {
+                            t_ns: now.as_nanos(),
+                            node: v.0,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Clears a failed node's reception state (its own transmission, if any,
+    /// is handled by [`Phy::fail_transmission`] first).
+    pub(crate) fn clear_receptions(&mut self, i: usize) {
+        self.nodes[i].active_rx.clear();
+    }
+
+    /// Recomputes the radio state after any bookkeeping change, debiting the
+    /// closed interval to the trace if one is installed.
+    pub(crate) fn update_meter(&mut self, i: usize, now: SimTime) {
+        let node = &mut self.nodes[i];
+        let state = if !node.up {
+            RadioState::Off
+        } else if node.transmitting.is_some() {
+            RadioState::Transmitting
+        } else if node.busy_count > 0 {
+            RadioState::Receiving
+        } else {
+            RadioState::Idle
+        };
+        let (prev, joules) = node.meter.set_state(state, now);
+        // Zero-length and zero-power intervals produce no record, so the
+        // trace stream stays proportional to real state *changes*.
+        if joules > 0.0 {
+            self.emit(TraceRecord::EnergyDebit {
+                t_ns: now.as_nanos(),
+                node: i as u32,
+                state: prev.name(),
+                joules,
+            });
+        }
+    }
+}

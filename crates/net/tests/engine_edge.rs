@@ -1,6 +1,6 @@
 //! Edge-case tests of the network engine's MAC/ARQ/failure machinery.
 
-use wsn_net::{Ctx, NetConfig, Network, NodeId, Packet, Position, Protocol, Topology};
+use wsn_net::{Ctx, MacKind, NetConfig, Network, NodeId, Packet, Position, Protocol, Topology};
 use wsn_sim::{SimDuration, SimTime};
 
 /// Minimal scripted protocol (see `engine_properties.rs` for the generic
@@ -213,7 +213,7 @@ fn zero_neighbor_node_sends_into_the_void() {
 
 fn rts_config() -> NetConfig {
     NetConfig {
-        rts_cts: true,
+        mac: MacKind::RtsCts,
         ..NetConfig::default()
     }
 }

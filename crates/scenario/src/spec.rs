@@ -7,7 +7,7 @@
 
 use std::collections::HashSet;
 
-use wsn_net::NodeId;
+use wsn_net::{MacKind, NodeId};
 use wsn_sim::{SimDuration, SimRng, SimTime};
 
 use crate::failures::{rolling_failures, FailureConfig, FailureEvent};
@@ -38,6 +38,11 @@ pub struct ScenarioSpec {
     pub sink_placement: SinkPlacement,
     /// Node-failure model, if any.
     pub failures: Option<FailureConfig>,
+    /// Which MAC the run uses (default: plain CSMA/CA+ACK). Pure
+    /// configuration — it rides into the run's `NetConfig` and never touches
+    /// the scenario RNG streams, so changing it leaves topology, roles, and
+    /// failures untouched.
+    pub mac: MacKind,
     /// Simulated duration of the run.
     pub duration: SimDuration,
     /// Master seed: everything derives from it.
@@ -55,6 +60,7 @@ impl Default for ScenarioSpec {
             source_placement: SourcePlacement::PAPER_CORNER,
             sink_placement: SinkPlacement::PAPER,
             failures: None,
+            mac: MacKind::default(),
             duration: SimDuration::from_secs(200),
             seed: 0,
         }

@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
-# Perf regression gate for PR 3 (observability layer): re-run the PR 2
+# Perf regression gate for PR 4 (layered network stack): re-run the
 # baseline sweep, measure the dispatch profiler's wall-clock overhead, and
-# join everything into BENCH_PR3.json (per-job best-of-N over BENCH_REPS
+# join everything into BENCH_PR4.json (per-job best-of-N over BENCH_REPS
 # repetitions, default 5; the jobs arrays record every rep). Exits 1 if mean
-# events/sec regressed more than 10% against the recorded BENCH_PR2.json.
-# bash + grep/sed/awk only — no jq.
+# events/sec regressed more than 10% against the recorded BENCH_PR3.json.
+# Events/sec is machine-state-dependent, so a missed gate first re-measures,
+# then recalibrates: it rebuilds the commit that recorded the reference
+# artifact and measures it on this machine, comparing like with like.
+# bash + git + grep/sed/awk only — no jq.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR3.json}"
-baseline_ref="BENCH_PR2.json"
+out="${1:-BENCH_PR4.json}"
+baseline_ref="BENCH_PR3.json"
 reps="${BENCH_REPS:-5}"
 base_log="$(mktemp)"
 prof_log="$(mktemp)"
@@ -52,7 +55,7 @@ eps_mean() { # mean events_per_sec, each job's best rep
 
 # Interleave the two modes, alternating which goes first, so slow drift
 # (CPU frequency, background load) hits both equally instead of skewing
-# their difference. The regression sweep mirrors BENCH_PR2.json exactly;
+# their difference. The regression sweep mirrors the earlier artifacts;
 # the profiler-overhead pair uses 300 s runs because the ~20 ms quick jobs
 # are smaller than this machine's scheduling noise.
 : >"$base_log"
@@ -115,6 +118,33 @@ gate() { # gate EPS REF — 0 inside the 10% budget, 1 regressed
     awk -v now="$1" -v ref="$2" 'BEGIN {exit !(now >= ref * 0.9)}'
 }
 
+calibrate_ref() { # sets eps_ref_now by measuring the reference commit here
+    local ref_commit ref_root ref_wt ref_log
+    ref_commit="$(git log -n 1 --format=%H -- "$baseline_ref")"
+    [ -n "$ref_commit" ] || return 1
+    echo "calibrating: building reference commit ${ref_commit:0:12} and" \
+         "measuring it on this machine..."
+    ref_root="$(mktemp -d)"
+    ref_wt="$ref_root/wt"
+    ref_log="$ref_root/progress.log"
+    git worktree add --detach "$ref_wt" "$ref_commit" >/dev/null 2>&1 || {
+        rm -rf "$ref_root"
+        return 1
+    }
+    (
+        cd "$ref_wt"
+        cargo build --release -p wsn-bench >/dev/null
+        for _ in $(seq "$reps"); do
+            cargo run --release -p wsn-bench --bin fig8 -- \
+                "${common[@]}" "${gate_sweep[@]}" >/dev/null 2>>"$ref_log"
+        done
+    )
+    eps_ref_now="$(eps_mean "$ref_log")"
+    git worktree remove --force "$ref_wt" >/dev/null 2>&1 || true
+    rm -rf "$ref_root"
+    [ -n "$eps_ref_now" ]
+}
+
 if [ -f "$baseline_ref" ]; then
     eps_ref="$(eps_mean "$baseline_ref")"
     echo "mean events/sec: $eps_now (reference $eps_ref in $baseline_ref)"
@@ -127,6 +157,18 @@ if [ -f "$baseline_ref" ]; then
         done
         eps_now="$(eps_mean "$base_log")"
         echo "re-measured mean events/sec: $eps_now"
+    fi
+    if ! gate "$eps_now" "$eps_ref"; then
+        # Still out of budget. The recorded number came from a different
+        # machine state (CPU frequency, co-tenants), so absolute events/sec
+        # may be incomparable across sessions: rebuild the commit that
+        # recorded the reference and measure it here and now, then gate on
+        # the drift-free comparison.
+        if calibrate_ref; then
+            echo "reference measured now: $eps_ref_now events/sec" \
+                 "(recorded: $eps_ref)"
+            eps_ref="$eps_ref_now"
+        fi
     fi
     if gate "$eps_now" "$eps_ref"; then
         awk -v now="$eps_now" -v ref="$eps_ref" 'BEGIN {

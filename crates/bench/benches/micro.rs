@@ -12,6 +12,7 @@ use std::time::Instant;
 
 use wsn_core::Experiment;
 use wsn_diffusion::Scheme;
+use wsn_net::{Ctx, NetConfig, Network, Packet, Position, Protocol, Topology};
 use wsn_scenario::{generate_field, ScenarioSpec};
 use wsn_setcover::{exact_cover, greedy_cover, CoverInstance};
 use wsn_sim::{EventQueue, SimDuration, SimRng, SimTime};
@@ -85,6 +86,90 @@ fn bench_event_queue() {
         }
         sum
     });
+    // Half the pushes get cancelled before ever firing — the ACK-timeout
+    // pattern (armed on every unicast, cancelled by the ACK).
+    bench("event_queue/cancel_half_10k", 3, 50, || {
+        let mut q = EventQueue::new();
+        let mut rng = SimRng::from_seed_stream(2, 0);
+        let mut ids = Vec::with_capacity(10_000);
+        for i in 0..10_000u64 {
+            ids.push(q.push(SimTime::from_nanos(rng.next_u64() % 1_000_000_000), i));
+        }
+        for id in ids.iter().skip(1).step_by(2) {
+            q.cancel(*id);
+        }
+        let mut sum = 0u64;
+        while let Some((_, _, v)) = q.pop() {
+            sum = sum.wrapping_add(v);
+        }
+        sum
+    });
+    // Fixed-population churn — the dispatch loop's actual steady state
+    // (slot reuse, no growth). One iteration = 10k rounds of
+    // cancel + pop + 2 pushes + pop at population 64.
+    bench("event_queue/churn_steady_64", 3, 20, || {
+        let mut q = EventQueue::new();
+        let mut ids = Vec::with_capacity(64);
+        for i in 0..64u64 {
+            ids.push(q.push(SimTime::from_nanos(i), i));
+        }
+        let mut t = 64u64;
+        let mut sum = 0u64;
+        for round in 0..10_000u64 {
+            let slot = (round % 64) as usize;
+            q.cancel(ids[slot]);
+            if let Some((_, _, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            ids[slot] = q.push(SimTime::from_nanos(t), t);
+            t += 1;
+            q.push(SimTime::from_nanos(t), t);
+            t += 1;
+            q.pop();
+        }
+        sum
+    });
+}
+
+/// A protocol that broadcasts on every timer tick — saturates the PHY
+/// broadcast loops (carrier sense, reception bookkeeping, meter updates)
+/// under CSMA contention.
+struct Storm;
+
+impl Protocol for Storm {
+    type Msg = ();
+    type Timer = ();
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, (), ()>) {
+        let phase = ctx.jitter(SimDuration::from_millis(200));
+        ctx.set_timer(SimDuration::from_millis(100) + phase, ());
+    }
+
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_, (), ()>, _p: &Packet<()>) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, (), ()>, _t: ()) {
+        ctx.broadcast(36, ());
+        ctx.set_timer(SimDuration::from_millis(100), ());
+    }
+}
+
+fn bench_phy_broadcast() {
+    // A 6×6 grid, 30 m pitch, 40 m range: 4-neighbor interiors, real
+    // contention, no partitions. One iteration = 10 simulated seconds of
+    // every node broadcasting at 10 Hz.
+    let cols = 6usize;
+    bench("phy/broadcast_grid36_10s", 1, 10, || {
+        let mut positions = Vec::new();
+        for row in 0..cols {
+            for col in 0..cols {
+                positions.push(Position::new(col as f64 * 30.0, row as f64 * 30.0));
+            }
+        }
+        let topo = Topology::new(positions, 40.0);
+        let mut net = Network::new(topo, NetConfig::default(), 13, |_| Storm);
+        net.run_until(SimTime::from_secs(10));
+        net.events_processed()
+    });
 }
 
 fn bench_trees() {
@@ -123,6 +208,7 @@ fn main() {
     // `cargo bench` passes harness flags like `--bench`; ignore them.
     bench_setcover();
     bench_event_queue();
+    bench_phy_broadcast();
     bench_trees();
     bench_field_generation();
     bench_full_run();

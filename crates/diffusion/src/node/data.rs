@@ -1,8 +1,6 @@
 //! Data plane: sending helpers, event generation, the aggregation buffer
 //! with delay `T_a` (§4.2), and data forwarding.
 
-use std::rc::Rc;
-
 use wsn_net::{Ctx, NodeId};
 use wsn_sim::{SimDuration, SimTime};
 use wsn_trace::{join_lineage, DropReason, LineageId, TraceRecord};
@@ -22,18 +20,16 @@ impl DiffusionNode {
         }
     }
 
-    /// The lineage stamp of an outgoing message. Only payload-bearing
+    /// The lineage wire string of an outgoing message. Only payload-bearing
     /// messages (data aggregates and exploratory events) carry event
     /// lineage; control traffic has none. Called only on traced runs —
-    /// untraced sends must not pay for the encoding.
-    fn msg_lineage(msg: &DiffMsg) -> Option<Rc<str>> {
+    /// untraced sends must not pay for the encoding. The caller interns the
+    /// string (see [`Ctx::intern_lineage`]) so the packet carries a `Copy`
+    /// handle and repeats of the same set allocate once.
+    fn msg_lineage(msg: &DiffMsg) -> Option<String> {
         match msg {
-            DiffMsg::Exploratory { item, .. } => {
-                Some(Rc::from(join_lineage([Self::item_lineage(item)])))
-            }
-            DiffMsg::Data { items, .. } => {
-                Some(Rc::from(join_lineage(items.iter().map(Self::item_lineage))))
-            }
+            DiffMsg::Exploratory { item, .. } => Some(join_lineage([Self::item_lineage(item)])),
+            DiffMsg::Data { items, .. } => Some(join_lineage(items.iter().map(Self::item_lineage))),
             _ => None,
         }
     }
@@ -47,7 +43,7 @@ impl DiffusionNode {
         let bytes = msg.wire_bytes(&self.cfg);
         self.counters.count_sent(msg.kind());
         let lineage = if ctx.trace_enabled() {
-            Self::msg_lineage(&msg)
+            Self::msg_lineage(&msg).map(|wire| ctx.intern_lineage(&wire))
         } else {
             None
         };

@@ -99,6 +99,10 @@ pub struct Network<P: Protocol> {
     /// How many of each cell's spans were actually clocked — the
     /// scale-back-up denominator at merge time.
     profile_sampled: [u64; EV_LABELS.len()],
+    /// The recycled [`TxOutcome`](crate::phy::TxOutcome) every `TxEnd`
+    /// dispatch fills and drains — its vectors keep their high-water
+    /// capacity, so steady-state transmissions allocate nothing.
+    outcome_scratch: crate::phy::TxOutcome<P::Msg>,
 }
 
 impl<P: Protocol> Network<P> {
@@ -123,6 +127,7 @@ impl<P: Protocol> Network<P> {
             profile_tick: 0,
             profile_cells: [ProfileEntry::default(); EV_LABELS.len()],
             profile_sampled: [0; EV_LABELS.len()],
+            outcome_scratch: crate::phy::TxOutcome::default(),
         }
     }
 
@@ -310,18 +315,23 @@ impl<P: Protocol> Network<P> {
             Ev::TxEnd { node, tx } => {
                 let i = node.index();
                 let now = self.core.sim.now();
-                let outcome = self.core.phy.finish_frame(now, i, tx);
+                // Recycle the scratch outcome: take it out of `self` for the
+                // duration of the dispatch (protocol callbacks borrow all of
+                // `self.core`), put it back — with its capacity — at the end.
+                let mut outcome = std::mem::take(&mut self.outcome_scratch);
+                self.core.phy.finish_frame(now, i, tx, &mut outcome);
                 {
                     let (mac, mut ctx) = self.core.mac_split();
                     mac.on_tx_end(&mut ctx, i, tx, &outcome);
                 }
-                for (v, packet) in outcome.deliveries {
+                for (v, packet) in &outcome.deliveries {
                     let mut ctx = Ctx {
                         core: &mut self.core,
-                        node: v,
+                        node: *v,
                     };
-                    self.protocols[v.index()].on_packet(&mut ctx, &packet);
+                    self.protocols[v.index()].on_packet(&mut ctx, packet);
                 }
+                self.outcome_scratch = outcome;
             }
             Ev::AckDue { node, acked, to } => {
                 let (mac, mut ctx) = self.core.mac_split();

@@ -7,8 +7,6 @@
 //! MAC enqueue, and the [`mac_split`](EngineCore::mac_split) split borrow
 //! that hands the MAC a [`MacCtx`] over the other layers.
 
-use std::collections::HashSet;
-
 use wsn_sim::{EventId, RunAccounting, SimDuration, SimRng, SimTime, Simulator};
 use wsn_trace::{DropReason, TraceRecord};
 
@@ -41,8 +39,11 @@ pub struct EngineCore<M, T> {
     pub(super) mac: MacImpl<M>,
     proto_rngs: Vec<SimRng>,
     /// Live protocol-timer event ids per node, dropped wholesale when the
-    /// node fails.
-    pub(crate) timers: Vec<HashSet<EventId>>,
+    /// node fails. A plain vector (arm pushes, cancel/fire swap-removes):
+    /// per-node timer counts are small, so a linear scan beats hashing on
+    /// the dispatch hot path — and the slab queue's generation stamps
+    /// already make stale ids inert.
+    pub(crate) timers: Vec<Vec<EventId>>,
     /// The seed the run was built from (reported in the trace header).
     pub(super) seed: u64,
     pub(super) trace_opts: TraceOptions,
@@ -75,7 +76,7 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> EngineCore<M, T> {
             phy,
             mac,
             proto_rngs,
-            timers: vec![HashSet::new(); n],
+            timers: vec![Vec::new(); n],
             seed,
             trace_opts: TraceOptions::default(),
         }
@@ -107,12 +108,25 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> EngineCore<M, T> {
 
     pub(crate) fn set_timer(&mut self, node: NodeId, delay: SimDuration, timer: T) -> TimerHandle {
         let id = self.sim.schedule_after(delay, Ev::Timer { node, timer });
-        self.timers[node.index()].insert(id);
+        self.timers[node.index()].push(id);
         TimerHandle(id)
     }
 
+    /// Removes `id` from `node`'s live-timer set, returning whether it was
+    /// present.
+    fn untrack_timer(&mut self, node: NodeId, id: EventId) -> bool {
+        let set = &mut self.timers[node.index()];
+        match set.iter().position(|&t| t == id) {
+            Some(pos) => {
+                set.swap_remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
     pub(crate) fn cancel_timer(&mut self, node: NodeId, handle: TimerHandle) -> bool {
-        self.timers[node.index()].remove(&handle.0) && self.sim.cancel(handle.0)
+        self.untrack_timer(node, handle.0) && self.sim.cancel(handle.0)
     }
 
     /// Splits the core into the installed MAC and the [`MacCtx`] window it
@@ -143,7 +157,9 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> EngineCore<M, T> {
                 node: node.0,
                 bytes: packet.bytes,
                 dst: packet.dst.map(|d| d.0),
-                lineage: packet.lineage.as_deref().map(str::to_string),
+                lineage: packet
+                    .lineage
+                    .map(|h| self.phy.lineage.resolve(h).to_string()),
             });
         }
         let (mac, mut ctx) = self.mac_split();
@@ -153,6 +169,6 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> EngineCore<M, T> {
     /// Removes a fired timer from the node's live set; `false` means the
     /// timer belongs to a node that failed since it was armed (drop it).
     pub(super) fn take_timer(&mut self, node: NodeId, id: EventId) -> bool {
-        self.timers[node.index()].remove(&id) && self.phy.nodes[node.index()].up
+        self.untrack_timer(node, id) && self.phy.nodes[node.index()].up
     }
 }

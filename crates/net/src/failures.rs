@@ -29,7 +29,7 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> EngineCore<M, T> {
             let (mac, mut ctx) = self.mac_split();
             mac.on_node_down(&mut ctx, i);
         }
-        let timers: Vec<EventId> = self.timers[i].drain().collect();
+        let timers: Vec<EventId> = std::mem::take(&mut self.timers[i]);
         for t in timers {
             self.sim.cancel(t);
         }

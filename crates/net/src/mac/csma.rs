@@ -35,10 +35,12 @@ pub(crate) fn contention_window(cfg: &NetConfig, retries: u32) -> u64 {
         .max(1)
 }
 
-/// A queued payload frame with its retransmission count.
+/// A queued payload frame with its retransmission count. The packet is
+/// `Rc`-wrapped once at enqueue, so every transmit attempt (and retry)
+/// hands the PHY a pointer clone instead of a deep copy.
 #[derive(Debug)]
 struct QueuedFrame<M> {
-    packet: Packet<M>,
+    packet: Rc<Packet<M>>,
     retries: u32,
 }
 
@@ -135,7 +137,7 @@ impl<M: Clone + std::fmt::Debug> CsmaCa<M> {
         i: usize,
         mut queued: QueuedFrame<M>,
         last_tx: Option<TxId>,
-    ) -> Option<Packet<M>> {
+    ) -> Option<Rc<Packet<M>>> {
         let mut failed = None;
         if queued.retries < ctx.cfg.retry_limit {
             queued.retries += 1;
@@ -158,9 +160,10 @@ impl<M: Clone + std::fmt::Debug> CsmaCa<M> {
 
 impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> Mac<M, T> for CsmaCa<M> {
     fn enqueue(&mut self, ctx: &mut MacCtx<'_, M, T>, i: usize, packet: Packet<M>) {
-        self.nodes[i]
-            .queue
-            .push_back(QueuedFrame { packet, retries: 0 });
+        self.nodes[i].queue.push_back(QueuedFrame {
+            packet: Rc::new(packet),
+            retries: 0,
+        });
         self.try_start(ctx, i);
     }
 
@@ -205,7 +208,7 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> Mac<M, T> for CsmaC
             }
             Some(_) => {
                 let bytes = queued.packet.bytes;
-                let frame = Frame::Payload(Rc::new(queued.packet.clone()));
+                let frame = Frame::Payload(Rc::clone(&queued.packet));
                 let tx = ctx.phy.start_frame(ctx.sim, ctx.cfg, i, frame, bytes);
                 ctx.phy.stats.per_node[i].tx_frames += 1;
                 ctx.phy.stats.per_node[i].tx_bytes += u64::from(bytes);
@@ -222,7 +225,7 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> Mac<M, T> for CsmaC
             }
             None => {
                 let bytes = queued.packet.bytes;
-                let frame = Frame::Payload(Rc::new(queued.packet.clone()));
+                let frame = Frame::Payload(Rc::clone(&queued.packet));
                 ctx.phy.start_frame(ctx.sim, ctx.cfg, i, frame, bytes);
                 ctx.phy.stats.per_node[i].tx_frames += 1;
                 ctx.phy.stats.per_node[i].tx_bytes += u64::from(bytes);
@@ -249,8 +252,10 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> Mac<M, T> for CsmaC
                 },
             );
         }
-        let mut acked_senders: Vec<usize> = Vec::new();
-        let mut cts_receivers: Vec<usize> = Vec::new();
+        // A frame has exactly one addressee, so at most one control entry
+        // matches — an `Option` per kind, no match vectors.
+        let mut acked_sender: Option<usize> = None;
+        let mut cts_receiver: Option<usize> = None;
         for (v, control) in &outcome.control {
             let vi = v.index();
             match control {
@@ -260,7 +265,7 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> Mac<M, T> for CsmaC
                         .as_ref()
                         .is_some_and(|a| a.tx == *acked && a.phase == AwaitPhase::Ack)
                     {
-                        acked_senders.push(vi);
+                        acked_sender = Some(vi);
                     }
                 }
                 Control::Rts => {
@@ -273,17 +278,17 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> Mac<M, T> for CsmaC
                         .as_ref()
                         .is_some_and(|a| a.phase == AwaitPhase::Cts)
                     {
-                        cts_receivers.push(vi);
+                        cts_receiver = Some(vi);
                     }
                 }
             }
         }
-        for vi in acked_senders {
+        if let Some(vi) = acked_sender {
             let a = self.nodes[vi].awaiting.take().expect("just matched");
             ctx.sim.cancel(a.timer);
             self.try_start(ctx, vi);
         }
-        for vi in cts_receivers {
+        if let Some(vi) = cts_receiver {
             // Transition to the data turnaround; the data frame fires after
             // SIFS via DataDue.
             let a = self.nodes[vi].awaiting.as_mut().expect("just matched");
@@ -329,7 +334,7 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> Mac<M, T> for CsmaC
     /// The CTS arrived: transmit the queued data frame (SIFS turnaround has
     /// elapsed) and arm the ACK wait. Returns the abandoned packet if the
     /// turnaround had to fall back to a retry that exhausted the limit.
-    fn on_data_due(&mut self, ctx: &mut MacCtx<'_, M, T>, i: usize) -> Option<Packet<M>> {
+    fn on_data_due(&mut self, ctx: &mut MacCtx<'_, M, T>, i: usize) -> Option<Rc<Packet<M>>> {
         if !ctx.phy.nodes[i].up {
             return None;
         }
@@ -348,7 +353,7 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> Mac<M, T> for CsmaC
         }
         let mut a = self.nodes[i].awaiting.take().expect("checked above");
         let bytes = a.queued.packet.bytes;
-        let frame = Frame::Payload(Rc::new(a.queued.packet.clone()));
+        let frame = Frame::Payload(Rc::clone(&a.queued.packet));
         let tx = ctx.phy.start_frame(ctx.sim, ctx.cfg, i, frame, bytes);
         ctx.phy.stats.per_node[i].tx_frames += 1;
         ctx.phy.stats.per_node[i].tx_bytes += u64::from(bytes);
@@ -373,7 +378,7 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> Mac<M, T> for CsmaC
         ctx: &mut MacCtx<'_, M, T>,
         i: usize,
         tx: TxId,
-    ) -> Option<Packet<M>> {
+    ) -> Option<Rc<Packet<M>>> {
         let matches = self.nodes[i]
             .awaiting
             .as_ref()

@@ -19,9 +19,11 @@ use crate::phy::{Frame, TxOutcome};
 
 /// The contention-free genie MAC. Per-node state is just a FIFO of frames
 /// waiting for the (busy) radio — no RNG, no timers, no handshake state.
+/// Packets are `Rc`-wrapped once at enqueue, so the transmit path is a
+/// pointer clone.
 #[derive(Debug)]
 pub(crate) struct IdealMac<M> {
-    queues: Vec<VecDeque<Packet<M>>>,
+    queues: Vec<VecDeque<Rc<Packet<M>>>>,
 }
 
 impl<M: Clone + std::fmt::Debug> IdealMac<M> {
@@ -41,10 +43,10 @@ impl<M: Clone + std::fmt::Debug> IdealMac<M> {
         &mut self,
         ctx: &mut MacCtx<'_, M, T>,
         i: usize,
-        packet: Packet<M>,
+        packet: Rc<Packet<M>>,
     ) {
         let bytes = packet.bytes;
-        let frame = Frame::Payload(Rc::new(packet));
+        let frame = Frame::Payload(packet);
         ctx.phy.start_frame(ctx.sim, ctx.cfg, i, frame, bytes);
         ctx.phy.stats.per_node[i].tx_frames += 1;
         ctx.phy.stats.per_node[i].tx_bytes += u64::from(bytes);
@@ -53,6 +55,7 @@ impl<M: Clone + std::fmt::Debug> IdealMac<M> {
 
 impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> Mac<M, T> for IdealMac<M> {
     fn enqueue(&mut self, ctx: &mut MacCtx<'_, M, T>, i: usize, packet: Packet<M>) {
+        let packet = Rc::new(packet);
         if ctx.phy.nodes[i].transmitting.is_some() {
             self.queues[i].push_back(packet);
             return;
@@ -88,7 +91,7 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> Mac<M, T> for Ideal
         // Never scheduled: no handshake.
     }
 
-    fn on_data_due(&mut self, _ctx: &mut MacCtx<'_, M, T>, _i: usize) -> Option<Packet<M>> {
+    fn on_data_due(&mut self, _ctx: &mut MacCtx<'_, M, T>, _i: usize) -> Option<Rc<Packet<M>>> {
         None // never scheduled
     }
 
@@ -97,7 +100,7 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> Mac<M, T> for Ideal
         _ctx: &mut MacCtx<'_, M, T>,
         _i: usize,
         _tx: TxId,
-    ) -> Option<Packet<M>> {
+    ) -> Option<Rc<Packet<M>>> {
         None // never scheduled: nothing is awaited, nothing ever fails
     }
 

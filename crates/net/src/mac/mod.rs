@@ -29,6 +29,8 @@ mod ideal;
 pub(crate) use csma::CsmaCa;
 pub(crate) use ideal::IdealMac;
 
+use std::rc::Rc;
+
 use wsn_sim::Simulator;
 
 use crate::config::NetConfig;
@@ -128,7 +130,7 @@ pub(crate) trait Mac<M, T> {
     /// Node `i`'s post-CTS turnaround elapsed: transmit the data frame.
     /// Returns the abandoned packet if the attempt instead exhausted the
     /// retry limit.
-    fn on_data_due(&mut self, ctx: &mut MacCtx<'_, M, T>, i: usize) -> Option<Packet<M>>;
+    fn on_data_due(&mut self, ctx: &mut MacCtx<'_, M, T>, i: usize) -> Option<Rc<Packet<M>>>;
 
     /// Node `i`'s response wait for `tx` expired: retry or give up.
     /// Returns the abandoned packet when the retry limit is exhausted.
@@ -137,7 +139,7 @@ pub(crate) trait Mac<M, T> {
         ctx: &mut MacCtx<'_, M, T>,
         i: usize,
         tx: TxId,
-    ) -> Option<Packet<M>>;
+    ) -> Option<Rc<Packet<M>>>;
 
     /// Node `i` failed: drop its queue and cancel the MAC's pending
     /// simulator events for it.
@@ -218,7 +220,7 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> Mac<M, T> for MacIm
         }
     }
 
-    fn on_data_due(&mut self, ctx: &mut MacCtx<'_, M, T>, i: usize) -> Option<Packet<M>> {
+    fn on_data_due(&mut self, ctx: &mut MacCtx<'_, M, T>, i: usize) -> Option<Rc<Packet<M>>> {
         match self {
             MacImpl::Csma(m) => m.on_data_due(ctx, i),
             MacImpl::Ideal(m) => m.on_data_due(ctx, i),
@@ -230,7 +232,7 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> Mac<M, T> for MacIm
         ctx: &mut MacCtx<'_, M, T>,
         i: usize,
         tx: TxId,
-    ) -> Option<Packet<M>> {
+    ) -> Option<Rc<Packet<M>>> {
         match self {
             MacImpl::Csma(m) => m.on_ack_timeout(ctx, i, tx),
             MacImpl::Ideal(m) => m.on_ack_timeout(ctx, i, tx),

@@ -1,6 +1,6 @@
 //! Frames on the air.
 
-use std::rc::Rc;
+use wsn_trace::LineageHandle;
 
 use crate::node::NodeId;
 
@@ -18,12 +18,13 @@ pub struct Packet<M> {
     pub dst: Option<NodeId>,
     /// Frame size in bytes, which determines air time and hence energy.
     pub bytes: u32,
-    /// Lineage ids the payload carries, pre-encoded in the trace wire form
-    /// (comma-joined `src#seq`). Only stamped when a trace sink is
-    /// installed — `None` on untraced runs, so the hot path never pays for
-    /// the encoding. Carried as `Rc<str>` so requeues and retries share
-    /// one allocation.
-    pub lineage: Option<Rc<str>>,
+    /// Lineage ids the payload carries, interned in the run's
+    /// [`LineageTable`](wsn_trace::LineageTable) (the comma-joined
+    /// `src#seq` wire string is resolved back at trace-emission time). Only
+    /// stamped when a trace sink is installed — `None` on untraced runs, so
+    /// the hot path never pays for the encoding. A `Copy` handle, so
+    /// requeues, retries, and clones never touch the heap.
+    pub lineage: Option<LineageHandle>,
     /// The protocol-level message.
     pub payload: M,
 }
@@ -51,8 +52,8 @@ impl<M> Packet<M> {
         }
     }
 
-    /// Stamps the packet with pre-encoded lineage ids.
-    pub fn with_lineage(mut self, lineage: Option<Rc<str>>) -> Self {
+    /// Stamps the packet with interned lineage ids.
+    pub fn with_lineage(mut self, lineage: Option<LineageHandle>) -> Self {
         self.lineage = lineage;
         self
     }

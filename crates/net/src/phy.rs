@@ -12,10 +12,16 @@
 //!   was itself receiving), and schedules the `TxEnd`.
 //! * [`Phy::finish_frame`] takes a frame off the air at its `TxEnd`: it
 //!   releases carrier sense, finalizes every reception, and reports the
-//!   result as a [`TxOutcome`] — successful payload deliveries plus any
-//!   control frames (ACK/RTS/CTS) decoded at their addressee — for the MAC
-//!   to act on. The PHY never inspects MAC state; deferred interpretation of
-//!   the outcome is what keeps the layers independent.
+//!   result into a caller-recycled [`TxOutcome`] — successful payload
+//!   deliveries plus any control frames (ACK/RTS/CTS) decoded at their
+//!   addressee — for the MAC to act on. The PHY never inspects MAC state;
+//!   deferred interpretation of the outcome is what keeps the layers
+//!   independent.
+//!
+//! The broadcast loops iterate the topology's neighbor slices through split
+//! borrows (`topo` is a field disjoint from `nodes`/`stats`), so the steady
+//! state clones no neighbor lists and allocates nothing — see `DESIGN.md`
+//! §15 for the ownership rules.
 //!
 //! With [`Phy::capture`] set (the ideal contention-free MAC), the collision
 //! machinery is disabled: receivers decode every overlapping frame
@@ -26,7 +32,7 @@
 use std::rc::Rc;
 
 use wsn_sim::{SimTime, Simulator};
-use wsn_trace::{DropReason, SharedSink, TraceRecord};
+use wsn_trace::{DropReason, LineageTable, SharedSink, TraceRecord};
 
 use crate::config::NetConfig;
 use crate::energy::{EnergyMeter, RadioState};
@@ -83,20 +89,20 @@ impl<M> Frame<M> {
         }
     }
 
-    /// The payload's lineage stamp, re-encoded for a trace record. Only
-    /// payloads of traced runs carry one, so this allocates nothing on
-    /// untraced paths.
-    fn trace_lineage(&self) -> Option<String> {
+    /// The payload's lineage stamp, resolved through the run's intern table
+    /// and re-encoded for a trace record. Only payloads of traced runs carry
+    /// a handle, so this allocates nothing on untraced paths.
+    fn trace_lineage(&self, lineage: &LineageTable) -> Option<String> {
         match self {
-            Frame::Payload(p) => p.lineage.as_deref().map(str::to_string),
+            Frame::Payload(p) => p.lineage.map(|h| lineage.resolve(h).to_string()),
             _ => None,
         }
     }
 }
 
-/// Emits through a pre-cloned sink handle. Emission sites that hold a
-/// `&mut self.nodes[i]` split borrow clone the `Option<Rc>` handle up front
-/// and emit through this instead of [`Phy::emit`].
+/// Emits through a borrowed sink handle. Emission sites that hold a
+/// `&mut self.nodes[i]` split borrow reach the sink through the disjoint
+/// `trace` field and emit through this instead of [`Phy::emit`].
 fn emit_to(trace: &Option<SharedSink>, rec: TraceRecord) {
     if let Some(t) = trace {
         t.borrow_mut().record(&rec);
@@ -195,6 +201,38 @@ pub(crate) struct PhyNode<M> {
     active_rx: Vec<RxEntry<M>>,
 }
 
+impl<M> PhyNode<M> {
+    /// Recomputes this node's radio state after any bookkeeping change,
+    /// debiting the closed interval to the trace if one is installed. Takes
+    /// the sink as a disjoint borrow so callers inside a `&mut nodes[i]`
+    /// split borrow can still debit.
+    fn update_meter(&mut self, trace: &Option<SharedSink>, i: usize, now: SimTime) {
+        let state = if !self.up {
+            RadioState::Off
+        } else if self.transmitting.is_some() {
+            RadioState::Transmitting
+        } else if self.busy_count > 0 {
+            RadioState::Receiving
+        } else {
+            RadioState::Idle
+        };
+        let (prev, joules) = self.meter.set_state(state, now);
+        // Zero-length and zero-power intervals produce no record, so the
+        // trace stream stays proportional to real state *changes*.
+        if joules > 0.0 {
+            emit_to(
+                trace,
+                TraceRecord::EnergyDebit {
+                    t_ns: now.as_nanos(),
+                    node: i as u32,
+                    state: prev.name(),
+                    joules,
+                },
+            );
+        }
+    }
+}
+
 /// A successfully decoded control frame, reported to the MAC at `TxEnd`.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum Control {
@@ -210,6 +248,10 @@ pub(crate) enum Control {
 }
 
 /// Everything the PHY observed when a transmission left the air.
+///
+/// The engine owns one instance and recycles it across `TxEnd` dispatches
+/// ([`TxOutcome::clear`] between uses), so the steady state never allocates
+/// delivery vectors — they keep their high-water capacity.
 #[derive(Debug)]
 pub(crate) struct TxOutcome<M> {
     /// Payload frames decoded at each hearer that passed the logical
@@ -219,8 +261,28 @@ pub(crate) struct TxOutcome<M> {
     /// The addressed receiver that cleanly decoded a unicast payload; under
     /// an acknowledged MAC it owes the sender an ACK.
     pub(crate) unicast_decoded: Option<NodeId>,
-    /// Control frames decoded at their addressee, in neighbor order.
+    /// Control frames decoded at their addressee, in neighbor order. A
+    /// frame has exactly one addressee, so at most one entry per outcome.
     pub(crate) control: Vec<(NodeId, Control)>,
+}
+
+impl<M> Default for TxOutcome<M> {
+    fn default() -> Self {
+        TxOutcome {
+            deliveries: Vec::new(),
+            unicast_decoded: None,
+            control: Vec::new(),
+        }
+    }
+}
+
+impl<M> TxOutcome<M> {
+    /// Resets for reuse, keeping the vectors' capacity.
+    pub(crate) fn clear(&mut self) {
+        self.deliveries.clear();
+        self.unicast_decoded = None;
+        self.control.clear();
+    }
 }
 
 /// The physical layer: topology, per-node radio state, and the receiver-side
@@ -234,6 +296,10 @@ pub(crate) struct Phy<M> {
     /// The installed trace sink, if any. `None` keeps every emission site
     /// down to a single branch.
     pub(crate) trace: Option<SharedSink>,
+    /// The run's lineage intern table: packets carry `Copy` handles into it,
+    /// and trace emission resolves them back to wire strings. Empty (and
+    /// untouched) on untraced runs.
+    pub(crate) lineage: LineageTable,
     /// Perfect-capture mode (the ideal MAC): receivers decode every
     /// overlapping frame, so nothing is ever corrupted and no collision is
     /// ever recorded. Carrier sense still counts hearers for the energy
@@ -250,6 +316,7 @@ impl<M: std::fmt::Debug> std::fmt::Debug for Phy<M> {
             .field("stats", &self.stats)
             .field("next_tx", &self.next_tx)
             .field("trace", &self.trace.is_some())
+            .field("lineage", &self.lineage)
             .field("capture", &self.capture)
             .finish_non_exhaustive()
     }
@@ -278,6 +345,7 @@ impl<M: Clone + std::fmt::Debug> Phy<M> {
             },
             next_tx: 0,
             trace: None,
+            lineage: LineageTable::new(),
             capture,
         }
     }
@@ -309,10 +377,22 @@ impl<M: Clone + std::fmt::Debug> Phy<M> {
         let t_ns = now.as_nanos();
         let tx = TxId(self.next_tx);
         self.next_tx += 1;
-        let trace = self.trace.clone();
+        // Split borrows: the neighbor slice lives in `topo`, disjoint from
+        // the per-node state in `nodes` and the counters in `stats`, so the
+        // loops below iterate it directly — no neighbor-list clone.
+        let Phy {
+            topo,
+            nodes,
+            stats,
+            trace,
+            lineage,
+            capture,
+            ..
+        } = self;
+        let capture = *capture;
         if trace.is_some() {
             emit_to(
-                &trace,
+                trace,
                 TraceRecord::PacketTx {
                     t_ns,
                     node: i as u32,
@@ -320,22 +400,22 @@ impl<M: Clone + std::fmt::Debug> Phy<M> {
                     kind: frame.kind(),
                     bytes,
                     dst: frame.trace_dst(),
-                    lineage: frame.trace_lineage(),
+                    lineage: frame.trace_lineage(lineage),
                 },
             );
         }
-        let node = &mut self.nodes[i];
+        let node = &mut nodes[i];
         debug_assert!(node.transmitting.is_none(), "radio already busy");
         node.transmitting = Some(tx);
         node.in_flight = Some(frame.clone());
-        if !self.capture {
+        if !capture {
             // Half-duplex: anything we were receiving is lost.
             for rx in &mut node.active_rx {
                 if !rx.corrupted {
                     rx.corrupted = true;
-                    self.stats.collisions += 1;
+                    stats.collisions += 1;
                     emit_to(
-                        &trace,
+                        trace,
                         TraceRecord::Collision {
                             t_ns,
                             node: i as u32,
@@ -344,15 +424,14 @@ impl<M: Clone + std::fmt::Debug> Phy<M> {
                 }
             }
         }
-        self.update_meter(i, now);
+        node.update_meter(trace, i, now);
 
         let sender = NodeId::from_index(i);
-        let neighbors: Vec<NodeId> = self.topo.neighbors(sender).to_vec();
-        for v in neighbors {
+        for &v in topo.neighbors(sender) {
             let vi = v.index();
-            let vn = &mut self.nodes[vi];
+            let vn = &mut nodes[vi];
             vn.busy_count += 1;
-            if self.capture {
+            if capture {
                 // Perfect capture: every powered hearer decodes the frame,
                 // overlap or not, even while transmitting itself.
                 if vn.up {
@@ -369,12 +448,12 @@ impl<M: Clone + std::fmt::Debug> Phy<M> {
                     for rx in &mut vn.active_rx {
                         if !rx.corrupted {
                             rx.corrupted = true;
-                            self.stats.collisions += 1;
-                            emit_to(&trace, TraceRecord::Collision { t_ns, node: v.0 });
+                            stats.collisions += 1;
+                            emit_to(trace, TraceRecord::Collision { t_ns, node: v.0 });
                         }
                     }
-                    self.stats.collisions += 1;
-                    emit_to(&trace, TraceRecord::Collision { t_ns, node: v.0 });
+                    stats.collisions += 1;
+                    emit_to(trace, TraceRecord::Collision { t_ns, node: v.0 });
                 }
                 vn.active_rx.push(RxEntry {
                     tx,
@@ -382,7 +461,7 @@ impl<M: Clone + std::fmt::Debug> Phy<M> {
                     corrupted,
                 });
             }
-            self.update_meter(vi, now);
+            vn.update_meter(trace, vi, now);
         }
         let duration = cfg.tx_duration(bytes);
         sim.schedule_after(duration, Ev::TxEnd { node: sender, tx });
@@ -390,34 +469,42 @@ impl<M: Clone + std::fmt::Debug> Phy<M> {
     }
 
     /// Takes transmission `tx` off the air at its `TxEnd`: releases carrier
-    /// sense and finalizes every reception. Returns what the MAC needs to
-    /// act on — payload deliveries and addressee-decoded control frames.
-    pub(crate) fn finish_frame(&mut self, now: SimTime, i: usize, tx: TxId) -> TxOutcome<M> {
+    /// sense and finalizes every reception. Fills `out` (cleared first) with
+    /// what the MAC needs to act on — payload deliveries and
+    /// addressee-decoded control frames.
+    pub(crate) fn finish_frame(
+        &mut self,
+        now: SimTime,
+        i: usize,
+        tx: TxId,
+        out: &mut TxOutcome<M>,
+    ) {
+        out.clear();
         let t_ns = now.as_nanos();
-        let trace = self.trace.clone();
-        debug_assert_eq!(self.nodes[i].transmitting, Some(tx), "TxEnd out of order");
-        self.nodes[i].transmitting = None;
-        let frame = self.nodes[i].in_flight.take().expect("frame in flight");
-        self.update_meter(i, now);
+        let Phy {
+            topo,
+            nodes,
+            stats,
+            trace,
+            ..
+        } = self;
+        debug_assert_eq!(nodes[i].transmitting, Some(tx), "TxEnd out of order");
+        nodes[i].transmitting = None;
+        let frame = nodes[i].in_flight.take().expect("frame in flight");
+        nodes[i].update_meter(trace, i, now);
 
         let sender = NodeId::from_index(i);
-        let mut outcome = TxOutcome {
-            deliveries: Vec::new(),
-            unicast_decoded: None,
-            control: Vec::new(),
-        };
-        let neighbors: Vec<NodeId> = self.topo.neighbors(sender).to_vec();
-        for v in neighbors {
+        for &v in topo.neighbors(sender) {
             let vi = v.index();
-            let vn = &mut self.nodes[vi];
+            let vn = &mut nodes[vi];
             debug_assert!(vn.busy_count > 0, "busy count underflow at {v}");
             vn.busy_count -= 1;
             if let Some(pos) = vn.active_rx.iter().position(|r| r.tx == tx) {
                 let entry = vn.active_rx.swap_remove(pos);
                 if entry.corrupted {
-                    self.stats.per_node[vi].rx_corrupted += 1;
+                    stats.per_node[vi].rx_corrupted += 1;
                     emit_to(
-                        &trace,
+                        trace,
                         TraceRecord::PacketDrop {
                             t_ns,
                             node: v.0,
@@ -428,10 +515,10 @@ impl<M: Clone + std::fmt::Debug> Phy<M> {
                 } else if vn.up {
                     match &entry.frame {
                         Frame::Payload(pkt) => {
-                            self.stats.per_node[vi].rx_ok += 1;
+                            stats.per_node[vi].rx_ok += 1;
                             if pkt.dst == Some(v) {
                                 emit_to(
-                                    &trace,
+                                    trace,
                                     TraceRecord::PacketRx {
                                         t_ns,
                                         node: v.0,
@@ -442,11 +529,11 @@ impl<M: Clone + std::fmt::Debug> Phy<M> {
                                 );
                                 // Addressed unicast: deliver; the MAC
                                 // decides whether an ACK is owed.
-                                outcome.deliveries.push((v, Rc::clone(pkt)));
-                                outcome.unicast_decoded = Some(v);
+                                out.deliveries.push((v, Rc::clone(pkt)));
+                                out.unicast_decoded = Some(v);
                             } else if pkt.dst.is_none() {
                                 emit_to(
-                                    &trace,
+                                    trace,
                                     TraceRecord::PacketRx {
                                         t_ns,
                                         node: v.0,
@@ -455,31 +542,30 @@ impl<M: Clone + std::fmt::Debug> Phy<M> {
                                         bytes: pkt.bytes,
                                     },
                                 );
-                                outcome.deliveries.push((v, Rc::clone(pkt)));
+                                out.deliveries.push((v, Rc::clone(pkt)));
                             }
                         }
                         Frame::Ack { acked, to } => {
                             if *to == v {
-                                outcome.control.push((v, Control::Ack { acked: *acked }));
+                                out.control.push((v, Control::Ack { acked: *acked }));
                             }
                         }
                         Frame::Rts { to } => {
                             if *to == v {
-                                outcome.control.push((v, Control::Rts));
+                                out.control.push((v, Control::Rts));
                             }
                         }
                         Frame::Cts { to } => {
                             if *to == v {
-                                outcome.control.push((v, Control::Cts));
+                                out.control.push((v, Control::Cts));
                             }
                         }
                     }
                 }
             }
-            self.update_meter(vi, now);
+            vn.update_meter(trace, vi, now);
         }
         let _ = frame;
-        outcome
     }
 
     /// A radio dying mid-transmission cuts the signal: every in-progress
@@ -492,22 +578,28 @@ impl<M: Clone + std::fmt::Debug> Phy<M> {
         let Some(tx) = self.nodes[i].transmitting else {
             return;
         };
-        let trace = self.trace.clone();
         let me = NodeId::from_index(i);
-        let neighbors: Vec<NodeId> = self.topo.neighbors(me).to_vec();
-        if self.capture {
-            for v in neighbors {
-                self.nodes[v.index()].active_rx.retain(|rx| rx.tx != tx);
+        let Phy {
+            topo,
+            nodes,
+            stats,
+            trace,
+            capture,
+            ..
+        } = self;
+        if *capture {
+            for &v in topo.neighbors(me) {
+                nodes[v.index()].active_rx.retain(|rx| rx.tx != tx);
             }
             return;
         }
-        for v in neighbors {
-            for rx in &mut self.nodes[v.index()].active_rx {
+        for &v in topo.neighbors(me) {
+            for rx in &mut nodes[v.index()].active_rx {
                 if rx.tx == tx && !rx.corrupted {
                     rx.corrupted = true;
-                    self.stats.collisions += 1;
+                    stats.collisions += 1;
                     emit_to(
-                        &trace,
+                        trace,
                         TraceRecord::Collision {
                             t_ns: now.as_nanos(),
                             node: v.0,
@@ -527,26 +619,7 @@ impl<M: Clone + std::fmt::Debug> Phy<M> {
     /// Recomputes the radio state after any bookkeeping change, debiting the
     /// closed interval to the trace if one is installed.
     pub(crate) fn update_meter(&mut self, i: usize, now: SimTime) {
-        let node = &mut self.nodes[i];
-        let state = if !node.up {
-            RadioState::Off
-        } else if node.transmitting.is_some() {
-            RadioState::Transmitting
-        } else if node.busy_count > 0 {
-            RadioState::Receiving
-        } else {
-            RadioState::Idle
-        };
-        let (prev, joules) = node.meter.set_state(state, now);
-        // Zero-length and zero-power intervals produce no record, so the
-        // trace stream stays proportional to real state *changes*.
-        if joules > 0.0 {
-            self.emit(TraceRecord::EnergyDebit {
-                t_ns: now.as_nanos(),
-                node: i as u32,
-                state: prev.name(),
-                joules,
-            });
-        }
+        let Phy { nodes, trace, .. } = self;
+        nodes[i].update_meter(trace, i, now);
     }
 }

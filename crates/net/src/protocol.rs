@@ -112,15 +112,23 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> Ctx<'_, M, T> {
         self.core.enqueue(self.node, pkt);
     }
 
-    /// [`Ctx::broadcast`] with a lineage stamp: the pre-encoded lineage ids
-    /// ride the frame into the trace's `enq`/`tx` records. Pass `None` (or
-    /// just use `broadcast`) when tracing is off — see
-    /// [`Ctx::trace_enabled`].
+    /// Interns a lineage wire string (comma-joined `src#seq`) in the run's
+    /// [`LineageTable`](wsn_trace::LineageTable), returning the `Copy`
+    /// handle packets carry. The same string always returns the same
+    /// handle, so repeated sends of a stable aggregate allocate once.
+    pub fn intern_lineage(&mut self, wire: &str) -> wsn_trace::LineageHandle {
+        self.core.phy.lineage.intern(wire)
+    }
+
+    /// [`Ctx::broadcast`] with a lineage stamp: the interned lineage ids
+    /// (see [`Ctx::intern_lineage`]) ride the frame into the trace's
+    /// `enq`/`tx` records. Pass `None` (or just use `broadcast`) when
+    /// tracing is off — see [`Ctx::trace_enabled`].
     pub fn broadcast_with_lineage(
         &mut self,
         bytes: u32,
         msg: M,
-        lineage: Option<std::rc::Rc<str>>,
+        lineage: Option<wsn_trace::LineageHandle>,
     ) {
         let pkt = Packet::broadcast(self.node, bytes, msg).with_lineage(lineage);
         self.core.enqueue(self.node, pkt);
@@ -133,7 +141,7 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> Ctx<'_, M, T> {
         to: NodeId,
         bytes: u32,
         msg: M,
-        lineage: Option<std::rc::Rc<str>>,
+        lineage: Option<wsn_trace::LineageHandle>,
     ) {
         let pkt = Packet::unicast(self.node, to, bytes, msg).with_lineage(lineage);
         self.core.enqueue(self.node, pkt);

@@ -120,7 +120,7 @@ impl<E> Simulator<E> {
     }
 
     /// The timestamp of the next pending event, if any.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
+    pub fn peek_time(&self) -> Option<SimTime> {
         self.queue.peek_time()
     }
 

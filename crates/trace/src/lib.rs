@@ -56,7 +56,7 @@ pub mod report;
 pub mod sink;
 
 pub use audit::{audit_text, AuditReport, Auditor, Violation};
-pub use lineage::{join_lineage, split_lineage, LineageId};
+pub use lineage::{join_lineage, split_lineage, LineageHandle, LineageId, LineageTable};
 pub use parse::{parse_line, ParsedLine};
 pub use record::{DropReason, TraceRecord, ENERGY_STATES, SCHEMA_VERSION};
 pub use report::{NodeTally, ProfileRow, TraceSummary};

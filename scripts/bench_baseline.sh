@@ -1,12 +1,12 @@
 #!/usr/bin/env bash
 # Perf baseline for the run-execution layer: run a small fixed sweep with
-# per-job NDJSON --progress lines and join them into BENCH_PR4.json
+# per-job NDJSON --progress lines and join them into BENCH_PR5.json
 # (per-job simulator events, wall ms, events/sec) so later PRs have a
 # recorded reference point to diff against. bash + grep/sed only — no jq.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR4.json}"
+out="${1:-BENCH_PR5.json}"
 progress_log="$(mktemp)"
 trap 'rm -f "$progress_log" "$out.tmp"' EXIT
 

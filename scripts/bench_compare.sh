@@ -1,18 +1,20 @@
 #!/usr/bin/env bash
-# Perf regression gate for PR 4 (layered network stack): re-run the
-# baseline sweep, measure the dispatch profiler's wall-clock overhead, and
-# join everything into BENCH_PR4.json (per-job best-of-N over BENCH_REPS
-# repetitions, default 5; the jobs arrays record every rep). Exits 1 if mean
-# events/sec regressed more than 10% against the recorded BENCH_PR3.json.
-# Events/sec is machine-state-dependent, so a missed gate first re-measures,
-# then recalibrates: it rebuilds the commit that recorded the reference
+# Perf regression gate for PR 5 (zero-allocation hot path): re-run the
+# baseline sweep, measure the dispatch profiler's wall-clock overhead, run
+# the hot-path microbenchmarks, and join everything into BENCH_PR5.json
+# (per-job best-of-N over BENCH_REPS repetitions, default 5; the jobs
+# arrays record every rep). Exits 1 if mean events/sec regressed more than
+# 10% against the recorded BENCH_PR4.json, or if any recorded hot-path
+# microbenchmark median got more than 10% slower. Events/sec is
+# machine-state-dependent, so a missed gate first re-measures, then
+# recalibrates: it rebuilds the commit that recorded the reference
 # artifact and measures it on this machine, comparing like with like.
 # bash + git + grep/sed/awk only — no jq.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR4.json}"
-baseline_ref="BENCH_PR3.json"
+out="${1:-BENCH_PR5.json}"
+baseline_ref="BENCH_PR4.json"
 reps="${BENCH_REPS:-5}"
 base_log="$(mktemp)"
 prof_log="$(mktemp)"
@@ -86,6 +88,28 @@ for i in $(seq "$over_reps"); do
     fi
 done
 
+# --- Hot-path microbenchmarks (PR 5): the slab event queue and the PHY
+# broadcast loop. Best-of-$micro_reps medians per benchmark; recorded in
+# the artifact and gated against the reference artifact's recorded medians
+# when present (artifacts predating PR 5 carry none, so against those this
+# run only records).
+micro_benches="event_queue/push_pop_10k event_queue/cancel_half_10k \
+event_queue/churn_steady_64 phy/broadcast_grid36_10s"
+micro_log="$(mktemp)"
+trap 'rm -f "$base_log" "$prof_log" "$try_log" "$over_base_log" \
+    "$over_prof_log" "$micro_log" "$out.tmp"' EXIT
+micro_reps="${BENCH_MICRO_REPS:-3}"
+for _ in $(seq "$micro_reps"); do
+    cargo bench -p wsn-bench --bench micro >>"$micro_log" 2>/dev/null
+done
+micro_median() { # micro_median NAME — best (min) median ns across reps
+    grep -F "$1 " "$micro_log" | sed -n 's/.*median *\([0-9]*\) ns.*/\1/p' |
+        sort -n | head -1
+}
+for b in $micro_benches; do # every benchmark must have produced a number
+    test -n "$(micro_median "$b")"
+done
+
 jobs_n="$(grep -c '^{"job"' "$base_log")"
 test "$jobs_n" -gt 0
 grep -q '"profile_ns"' "$prof_log"  # the profiler actually ran
@@ -104,6 +128,14 @@ overhead_pct="$(awk -v b="$base_wall" -v p="$prof_wall" \
     printf ' "wall_ms_total":%s,\n' "$base_wall"
     printf ' "profiled_wall_ms_total":%s,\n' "$prof_wall"
     printf ' "profiler_overhead_pct":%s,\n' "$overhead_pct"
+    printf ' "micro_reps":%s,\n' "$micro_reps"
+    printf ' "micro_median_ns":{'
+    sep=''
+    for b in $micro_benches; do
+        printf '%s\n  "%s":%s' "$sep" "$b" "$(micro_median "$b")"
+        sep=','
+    done
+    printf '\n },\n'
     printf ' "jobs":[\n'
     grep '^{"job"' "$base_log" | sed 's/^/  /;$!s/$/,/'
     printf ' ],\n'
@@ -180,6 +212,36 @@ if [ -f "$baseline_ref" ]; then
                    (ref - now) * 100.0 / ref}'
         exit 1
     fi
+
+    # The microbenchmark gate: regression means a *higher* median (ns), so
+    # the budget runs the other way from events/sec. References come from
+    # the "micro_median_ns" object of the recorded artifact; an artifact
+    # without one (pre-PR 5) just gets today's numbers recorded.
+    micro_fail=0
+    micro_gated=0
+    for b in $micro_benches; do
+        m_ref="$(grep -o "\"$b\":[0-9]*" "$baseline_ref" |
+            sed 's/.*://' | head -1 || true)"
+        [ -n "$m_ref" ] || continue
+        micro_gated=1
+        m_now="$(micro_median "$b")"
+        if awk -v now="$m_now" -v ref="$m_ref" \
+            'BEGIN {exit !(now <= ref * 1.1)}'; then
+            awk -v b="$b" -v now="$m_now" -v ref="$m_ref" 'BEGIN {
+                printf "OK: %s median %d ns (ref %d ns, %+.1f%%)\n",
+                       b, now, ref, (now - ref) * 100.0 / ref}'
+        else
+            awk -v b="$b" -v now="$m_now" -v ref="$m_ref" 'BEGIN {
+                printf "FAIL: %s median %d ns regressed %.1f%% over %d ns\n",
+                       b, now, (now - ref) * 100.0 / ref, ref}'
+            micro_fail=1
+        fi
+    done
+    if [ "$micro_gated" -eq 0 ]; then
+        echo "note: $baseline_ref records no microbenchmark medians;" \
+             "recorded today's in $out for the next gate"
+    fi
+    test "$micro_fail" -eq 0
 else
     echo "note: no $baseline_ref reference; skipping the regression gate"
 fi

@@ -5,7 +5,9 @@
 //! harness is a plain `main` (`harness = false`): each benchmark is timed
 //! with `Instant` over a fixed warmup + measurement loop and reported as
 //! median / mean ns per iteration. Iteration counts scale with
-//! `WSN_BENCH_SCALE` (default 1).
+//! `WSN_BENCH_SCALE` (default 1); `WSN_BENCH_ONLY=<substring>` runs only
+//! the benchmarks whose name contains the substring (used by
+//! `scripts/bench_baseline.sh` to time just the 10k-scale path).
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -21,6 +23,11 @@ use wsn_trees::{compare_trees, random_geometric, random_sources};
 /// Times `iters` runs of `f` (after `warmup` unmeasured runs) and prints a
 /// one-line report.
 fn bench<R>(name: &str, warmup: u64, iters: u64, mut f: impl FnMut() -> R) {
+    if let Ok(filter) = std::env::var("WSN_BENCH_ONLY") {
+        if !name.contains(&filter) {
+            return;
+        }
+    }
     let scale: u64 = std::env::var("WSN_BENCH_SCALE")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -192,6 +199,32 @@ fn bench_field_generation() {
     });
 }
 
+fn bench_scale_10k() {
+    // The tentpole target: 10,000 nodes at the paper's 200-node density
+    // (200 m × √50 ≈ 1414 m square, 40 m range). The spatial grid must
+    // build this topology in well under 100 ms; all-pairs took seconds.
+    let side = 200.0 * 50f64.sqrt();
+    let mut rng = SimRng::from_seed_stream(2002, 0);
+    let positions: Vec<Position> = (0..10_000)
+        .map(|_| Position::new(rng.f64() * side, rng.f64() * side))
+        .collect();
+    bench("topology/build_10k", 2, 20, || {
+        Topology::new(black_box(positions.clone()), 40.0)
+    });
+    // A short full-stack run at 10k nodes: field generation through the
+    // grid, then two simulated seconds of diffusion (interest flooding —
+    // the densest phase) over the SoA engine state.
+    let spec = ScenarioSpec {
+        node_count: 10_000,
+        field_side_m: side,
+        duration: SimDuration::from_secs(2),
+        ..ScenarioSpec::default()
+    };
+    let inst = spec.instantiate();
+    let exp = Experiment::new(spec, Scheme::Greedy);
+    bench("scale/sim_10k_2s", 1, 3, || exp.run_on(&inst));
+}
+
 fn bench_full_run() {
     for scheme in [Scheme::Greedy, Scheme::Opportunistic] {
         let mut spec = ScenarioSpec::paper(100, 5);
@@ -211,5 +244,6 @@ fn main() {
     bench_phy_broadcast();
     bench_trees();
     bench_field_generation();
+    bench_scale_10k();
     bench_full_run();
 }

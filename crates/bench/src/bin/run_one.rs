@@ -10,12 +10,17 @@
 //! `--max-events N` arms the watchdog: the run aborts (exit status 2) if it
 //! would dispatch more than `N` simulator events before the deadline.
 //! `--mac {csma,rtscts,ideal}` picks the MAC layer (default: plain
-//! CSMA/CA+ACK).
+//! CSMA/CA+ACK). `--scale FACTOR` multiplies `--nodes` by `FACTOR` and the
+//! 200 m field side by `√FACTOR`, preserving node density while growing the
+//! field (`--nodes 200 --scale 50` is a 10,000-node run at the paper's
+//! 200-node density).
 
 use wsn_diffusion::{DiffusionConfig, DiffusionNode, MsgKind, Role, Scheme};
 use wsn_metrics::RunRecord;
 use wsn_net::{MacKind, NetConfig, Network};
-use wsn_scenario::{render_svg, FailureConfig, RenderOverlay, ScenarioSpec, SourcePlacement};
+use wsn_scenario::{
+    render_svg, Connectivity, FailureConfig, RenderOverlay, ScenarioSpec, SourcePlacement,
+};
 use wsn_sim::SimDuration;
 
 struct Args {
@@ -30,6 +35,7 @@ struct Args {
     mac: MacKind,
     svg: Option<String>,
     max_events: Option<u64>,
+    scale: f64,
 }
 
 fn parse_args() -> Args {
@@ -45,6 +51,7 @@ fn parse_args() -> Args {
         mac: MacKind::default(),
         svg: None,
         max_events: None,
+        scale: 1.0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -67,16 +74,45 @@ fn parse_args() -> Args {
             "--mac" => args.mac = val().parse().expect("--mac (csma|rtscts|ideal)"),
             "--svg" => args.svg = Some(val()),
             "--max-events" => args.max_events = Some(val().parse().expect("--max-events")),
+            "--scale" => {
+                args.scale = val().parse().expect("--scale");
+                assert!(
+                    args.scale.is_finite() && args.scale > 0.0,
+                    "--scale must be positive"
+                );
+            }
             other => panic!("unknown argument {other:?}; see the module docs of run_one for usage"),
         }
     }
     args
 }
 
+/// Peak resident set size in KiB, from `/proc/self/status` (`VmHWM`).
+/// `None` where procfs is absent (non-Linux).
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
 fn main() {
-    let args = parse_args();
+    let mut args = parse_args();
+    let defaults = ScenarioSpec::default();
+    let mut field_side_m = defaults.field_side_m;
+    let mut connectivity = defaults.connectivity;
+    if args.scale != 1.0 {
+        // Density-preserving scale-up, mirroring the figure harness's
+        // `--scale`: more nodes in a proportionally wider square. At scale,
+        // full connectivity of a constant-density random field is no longer
+        // drawable, so accept a 90% giant component (roles stay inside it).
+        args.nodes = ((args.nodes as f64) * args.scale).round().max(1.0) as usize;
+        field_side_m *= args.scale.sqrt();
+        connectivity = Connectivity::GiantComponent { min_fraction: 0.9 };
+    }
     let spec = ScenarioSpec {
         node_count: args.nodes,
+        field_side_m,
+        connectivity,
         num_sources: args.sources,
         num_sinks: args.sinks,
         source_placement: if args.random_sources {
@@ -88,13 +124,16 @@ fn main() {
         mac: args.mac,
         duration: SimDuration::from_secs(args.duration_s),
         seed: args.seed,
-        ..ScenarioSpec::default()
+        ..defaults
     };
     let instance = spec.instantiate();
     println!(
-        "field: {} nodes, degree {:.1}, sources {:?}, sinks {:?}, scheme {}",
+        "field: {} nodes in {:.0} m square, degree {:.1}, {} placements rejected, \
+         sources {:?}, sinks {:?}, scheme {}",
         args.nodes,
+        spec.field_side_m,
         instance.field.topology.average_degree(),
+        instance.field.retries,
         instance.sources,
         instance.sinks,
         args.scheme
@@ -216,6 +255,9 @@ fn main() {
         accounting.events_processed,
         wall.as_secs_f64()
     );
+    if let Some(kb) = peak_rss_kb() {
+        println!("peak RSS: {:.1} MiB", kb as f64 / 1024.0);
+    }
 
     if let Some(path) = args.svg {
         let now = net.now();

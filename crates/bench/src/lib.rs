@@ -25,7 +25,12 @@
 //!   per-job totals ride the `--progress` stream and, combined with
 //!   `--trace`, land in each trace as `profile` records (render with
 //!   `trace_report --profile`). Profile numbers are wall-clock and thus
-//!   nondeterministic; metrics stay bit-identical.
+//!   nondeterministic; metrics stay bit-identical;
+//! * `--scale FACTOR` — density-preserving scale-up: every sweep point runs
+//!   `FACTOR`× the nodes in a `√FACTOR`× wider square, so the paper's
+//!   density axis is unchanged while the field grows (`fig5 --scale 100`
+//!   puts ≈5,000 nodes at the 50-node point's density). `1` (the default)
+//!   is exactly the paper's geometry.
 //!
 //! Output is the three metric panels of the figure as aligned text tables
 //! (mean ± standard deviation over fields) followed by CSV blocks, suitable
@@ -61,6 +66,7 @@ impl HarnessOptions {
         let mut fields: Option<usize> = None;
         let mut duration: Option<u64> = None;
         let mut csv = true;
+        let mut scale = 1.0f64;
         let mut runner = Runner::from_env();
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -95,10 +101,19 @@ impl HarnessOptions {
                     runner.trace = Some(TraceSpec::new(dir));
                 }
                 "--profile" => runner.profile = true,
+                "--scale" => {
+                    let v = it.next().expect("--scale needs a value");
+                    let s: f64 = v.parse().expect("--scale takes a number");
+                    assert!(
+                        s.is_finite() && s > 0.0,
+                        "--scale must be positive, got {s}"
+                    );
+                    scale = s;
+                }
                 other => panic!(
                     "unknown argument {other:?}; usage: [--quick] [--fields N] [--duration SECS] \
                      [--seed SEED] [--no-csv] [--jobs N] [--max-events N] [--progress] \
-                     [--trace DIR] [--profile]"
+                     [--trace DIR] [--profile] [--scale FACTOR]"
                 ),
             }
         }
@@ -113,6 +128,7 @@ impl HarnessOptions {
         if let Some(d) = duration {
             params.duration = SimDuration::from_secs(d);
         }
+        params.scale = scale;
         HarnessOptions {
             params,
             csv,
@@ -211,6 +227,19 @@ mod tests {
     fn profile_flag_arms_the_profiler() {
         let o = HarnessOptions::parse(s(&["--profile"]));
         assert!(o.runner.profile);
+    }
+
+    #[test]
+    fn scale_flag_applies_and_defaults_to_identity() {
+        assert_eq!(HarnessOptions::parse(s(&[])).params.scale, 1.0);
+        let o = HarnessOptions::parse(s(&["--quick", "--scale", "100"]));
+        assert_eq!(o.params.scale, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "--scale must be positive")]
+    fn non_positive_scale_panics() {
+        HarnessOptions::parse(s(&["--scale", "0"]));
     }
 
     #[test]

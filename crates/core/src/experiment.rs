@@ -48,6 +48,9 @@ pub struct RunOutcome {
     pub hotspot: (NodeId, f64),
     /// Simulator run accounting (events dispatched, final clock, backlog).
     pub accounting: RunAccounting,
+    /// Disconnected placements rejected while generating the run's field
+    /// (see [`wsn_scenario::Field::retries`]).
+    pub field_retries: u32,
 }
 
 impl Experiment {
@@ -264,6 +267,7 @@ impl Experiment {
             items_dropped_no_gradient: items_dropped,
             hotspot,
             accounting: net.accounting(),
+            field_retries: instance.field.retries,
         };
         if let Some(sink) = &sink_handle {
             // The trace carries the metrics the run reported — the audit

@@ -7,7 +7,7 @@
 
 use wsn_diffusion::{AggregationFn, Scheme};
 use wsn_metrics::FigureTable;
-use wsn_scenario::{FailureConfig, ScenarioSpec, SourcePlacement};
+use wsn_scenario::{Connectivity, FailureConfig, ScenarioSpec, SourcePlacement};
 use wsn_sim::SimDuration;
 
 use wsn_diffusion::DiffusionConfig;
@@ -99,6 +99,14 @@ pub struct FigureParams {
     pub sink_counts: Vec<usize>,
     /// Source counts for Figures 9–10. Paper: 2, 5, 8, 11, 14.
     pub source_counts: Vec<usize>,
+    /// Density-preserving scale factor (default 1.0 — the paper's exact
+    /// geometry). Node counts are multiplied by `scale` and the field side
+    /// by `√scale`, so node density — the paper's x-axis — is unchanged
+    /// while the field holds `scale`× more nodes. `scale = 100` turns the
+    /// 50-node point into ≈5,000 nodes in a 2 km square at the same 40 m
+    /// radio density. Role counts (sources, sinks) stay at the paper's
+    /// values.
+    pub scale: f64,
 }
 
 impl FigureParams {
@@ -114,6 +122,7 @@ impl FigureParams {
             dense_field_nodes: 350,
             sink_counts: vec![1, 2, 3, 4, 5],
             source_counts: vec![2, 5, 8, 11, 14],
+            scale: 1.0,
         }
     }
 
@@ -128,6 +137,7 @@ impl FigureParams {
             dense_field_nodes: 150,
             sink_counts: vec![1, 3],
             source_counts: vec![2, 5],
+            scale: 1.0,
         }
     }
 }
@@ -196,6 +206,19 @@ fn figure_spec(
         },
     };
     spec.duration = params.duration;
+    // Density-preserving scale: `scale`× the nodes in a `√scale`× wider
+    // square keeps nodes-per-m² (and thus the paper's density axis) fixed.
+    // Gated on exactly 1.0 so unscaled sweeps stay bit-identical — the
+    // branch, not rounding luck, is what guarantees identity.
+    if params.scale != 1.0 {
+        spec.node_count = ((spec.node_count as f64) * params.scale).round().max(1.0) as usize;
+        spec.field_side_m *= params.scale.sqrt();
+        // Full connectivity of a constant-density random field vanishes as
+        // n grows (isolated nodes appear at a constant per-node rate), so
+        // scaled runs accept a 90% giant component and place roles inside
+        // it. See `wsn_scenario::Connectivity`.
+        spec.connectivity = Connectivity::GiantComponent { min_fraction: 0.9 };
+    }
     spec
 }
 
@@ -308,6 +331,38 @@ mod tests {
         assert_eq!(p.node_counts, vec![50, 100, 150, 200, 250, 300, 350]);
         assert_eq!(p.source_counts, vec![2, 5, 8, 11, 14]);
         assert_eq!(p.sink_counts, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn scale_preserves_density_and_identity() {
+        let params = FigureParams::quick(0);
+        let base = figure_spec(Figure::Fig5Comparative, &params, 50, 0, 0);
+        // scale = 1.0 is exactly the unscaled spec (bit-identical sweeps).
+        let mut scaled_params = params.clone();
+        scaled_params.scale = 1.0;
+        assert_eq!(
+            figure_spec(Figure::Fig5Comparative, &scaled_params, 50, 0, 0),
+            base
+        );
+        // scale = 100: 100× the nodes, 10× the side, same density, same
+        // seed and roles.
+        scaled_params.scale = 100.0;
+        let scaled = figure_spec(Figure::Fig5Comparative, &scaled_params, 50, 0, 0);
+        assert_eq!(scaled.node_count, 5000);
+        assert!((scaled.field_side_m - 2000.0).abs() < 1e-9);
+        assert_eq!(scaled.seed, base.seed);
+        assert_eq!(scaled.num_sources, base.num_sources);
+        assert_eq!(scaled.num_sinks, base.num_sinks);
+        let density = |s: &ScenarioSpec| s.node_count as f64 / (s.field_side_m * s.field_side_m);
+        assert!((density(&scaled) - density(&base)).abs() < density(&base) * 1e-6);
+        // Scaled specs relax connectivity to a 90% giant component (full
+        // connectivity is not drawable at constant density and large n);
+        // unscaled specs keep the paper's full-connectivity rule.
+        assert_eq!(base.connectivity, Connectivity::Full);
+        assert_eq!(
+            scaled.connectivity,
+            Connectivity::GiantComponent { min_fraction: 0.9 }
+        );
     }
 
     #[test]

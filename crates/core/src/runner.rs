@@ -86,6 +86,10 @@ pub struct JobReport {
     /// The job's dispatch profile ([`None`] unless [`Runner::profile`];
     /// wall-clock data — informational, never feeds back into results).
     pub profile: Option<ProfileSink>,
+    /// Disconnected placements rejected while generating the job's field
+    /// (surfaced in progress output; sparse specs burn generation time
+    /// here).
+    pub field_retries: u32,
 }
 
 /// Where (and how densely) the runner writes per-job trace artifacts.
@@ -279,6 +283,7 @@ impl Runner {
                     events_per_sec: events_per_sec(events, wall_ms),
                     trace_path,
                     profile,
+                    field_retries: outcome.field_retries,
                 };
                 if self.progress {
                     let profile_json = report
@@ -295,7 +300,8 @@ impl Runner {
                         .unwrap_or_default();
                     eprintln!(
                         "{{\"job\":\"done\",\"point\":{},\"field\":{},\"scheme\":\"{}\",\
-                         \"events\":{},\"sim_s\":{:.1},\"wall_ms\":{:.1},\"events_per_sec\":{:.0}{}{}}}",
+                         \"events\":{},\"sim_s\":{:.1},\"wall_ms\":{:.1},\"events_per_sec\":{:.0},\
+                         \"field_retries\":{}{}{}}}",
                         job.point_x,
                         job.field_index,
                         job.scheme,
@@ -303,6 +309,7 @@ impl Runner {
                         report.accounting.final_time.as_secs_f64(),
                         wall_ms,
                         report.events_per_sec,
+                        report.field_retries,
                         trace_json,
                         profile_json,
                     );

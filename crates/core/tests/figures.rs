@@ -14,6 +14,7 @@ fn tiny_params() -> FigureParams {
         dense_field_nodes: 100,
         sink_counts: vec![1, 2],
         source_counts: vec![2, 4],
+        scale: 1.0,
     }
 }
 

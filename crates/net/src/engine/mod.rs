@@ -148,16 +148,18 @@ impl<P: Protocol> Network<P> {
 
     /// Energy dissipated by `node` up to the current time, joules.
     pub fn energy(&self, node: NodeId) -> f64 {
-        self.core.phy.nodes[node.index()]
-            .meter
+        self.core
+            .phy
+            .meter(node.index())
             .dissipated_at(self.core.now())
     }
 
     /// Communication (transmit + receive) energy dissipated by `node`,
     /// joules.
     pub fn activity_energy(&self, node: NodeId) -> f64 {
-        self.core.phy.nodes[node.index()]
-            .meter
+        self.core
+            .phy
+            .meter(node.index())
             .activity_at(self.core.now())
     }
 
@@ -166,9 +168,9 @@ impl<P: Protocol> Network<P> {
         let now = self.core.now();
         self.core
             .phy
-            .nodes
+            .meters()
             .iter()
-            .map(|n| n.meter.dissipated_at(now))
+            .map(|m| m.dissipated_at(now))
             .sum()
     }
 
@@ -178,15 +180,15 @@ impl<P: Protocol> Network<P> {
         let now = self.core.now();
         self.core
             .phy
-            .nodes
+            .meters()
             .iter()
-            .map(|n| n.meter.activity_at(now))
+            .map(|m| m.activity_at(now))
             .sum()
     }
 
     /// Whether `node` is currently powered.
     pub fn is_up(&self, node: NodeId) -> bool {
-        self.core.phy.nodes[node.index()].up
+        self.core.phy.is_up(node.index())
     }
 
     /// Read access to a node's protocol instance.

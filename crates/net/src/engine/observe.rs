@@ -43,7 +43,7 @@ impl<P: Protocol> Network<P> {
         self.core.trace_opts = opts;
         self.core.emit(TraceRecord::RunStart {
             seed: self.core.seed,
-            nodes: self.core.phy.nodes.len() as u32,
+            nodes: self.core.phy.len() as u32,
         });
         if opts.dispatch {
             let tap = self.core.phy.trace.clone().expect("sink just installed");
@@ -73,7 +73,7 @@ impl<P: Protocol> Network<P> {
             return Ok(());
         };
         let now = self.core.sim.now();
-        for i in 0..self.core.phy.nodes.len() {
+        for i in 0..self.core.phy.len() {
             // A redundant transition closes the partially elapsed interval.
             self.core.phy.update_meter(i, now);
         }
@@ -101,7 +101,7 @@ impl<P: Protocol> Network<P> {
             self.core.emit(TraceRecord::Snapshot {
                 t_ns,
                 node: i as u32,
-                energy_j: self.core.phy.nodes[i].meter.dissipated_at(now),
+                energy_j: self.core.phy.meter(i).dissipated_at(now),
                 queue: self.core.mac.queue_len(i) as u32,
                 cache,
             });

@@ -141,7 +141,7 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> EngineCore<M, T> {
     /// Queues a frame at `node`'s MAC.
     pub(crate) fn enqueue(&mut self, node: NodeId, packet: Packet<M>) {
         let i = node.index();
-        if !self.phy.nodes[i].up {
+        if !self.phy.is_up(i) {
             self.phy.stats.per_node[i].dropped_down += 1;
             self.emit(TraceRecord::PacketDrop {
                 t_ns: self.sim.now().as_nanos(),
@@ -169,6 +169,6 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> EngineCore<M, T> {
     /// Removes a fired timer from the node's live set; `false` means the
     /// timer belongs to a node that failed since it was armed (drop it).
     pub(super) fn take_timer(&mut self, node: NodeId, id: EventId) -> bool {
-        self.untrack_timer(node, id) && self.phy.nodes[node.index()].up
+        self.untrack_timer(node, id) && self.phy.is_up(node.index())
     }
 }

@@ -18,12 +18,12 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> EngineCore<M, T> {
     /// Applies a scheduled failure to node `i`. Returns `false` (a no-op) if
     /// the node is already down.
     pub(crate) fn apply_down(&mut self, i: usize) -> bool {
-        if !self.phy.nodes[i].up {
+        if !self.phy.is_up(i) {
             return false;
         }
         let now = self.sim.now();
         self.phy.fail_transmission(now, i);
-        self.phy.nodes[i].up = false;
+        self.phy.set_up(i, false);
         self.phy.clear_receptions(i);
         {
             let (mac, mut ctx) = self.mac_split();
@@ -40,11 +40,11 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> EngineCore<M, T> {
     /// Applies a scheduled recovery to node `i`. Returns `false` (a no-op)
     /// if the node is already up.
     pub(crate) fn apply_up(&mut self, i: usize) -> bool {
-        if self.phy.nodes[i].up {
+        if self.phy.is_up(i) {
             return false;
         }
         let now = self.sim.now();
-        self.phy.nodes[i].up = true;
+        self.phy.set_up(i, true);
         self.phy.update_meter(i, now);
         true
     }

@@ -45,6 +45,7 @@ mod packet;
 mod phy;
 mod position;
 mod protocol;
+mod soa;
 mod topology;
 mod trace;
 
@@ -57,5 +58,5 @@ pub use packet::{Packet, TxId};
 pub use phy::{NetStats, NodeStats};
 pub use position::{Position, Rect};
 pub use protocol::{Ctx, Protocol, TimerHandle};
-pub use topology::Topology;
+pub use topology::{SpatialGrid, Topology};
 pub use trace::TraceOptions;

@@ -105,9 +105,8 @@ impl<M: Clone + std::fmt::Debug> CsmaCa<M> {
     /// Schedules a fresh DIFS + backoff if the MAC is idle with work queued.
     fn try_start<T: Clone + std::fmt::Debug>(&mut self, ctx: &mut MacCtx<'_, M, T>, i: usize) {
         let node = &mut self.nodes[i];
-        let radio = &ctx.phy.nodes[i];
-        if !radio.up
-            || radio.transmitting.is_some()
+        if !ctx.phy.is_up(i)
+            || ctx.phy.is_transmitting(i)
             || node.backoff_ev.is_some()
             || node.awaiting.is_some()
             || node.queue.is_empty()
@@ -169,13 +168,12 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> Mac<M, T> for CsmaC
 
     fn on_backoff_done(&mut self, ctx: &mut MacCtx<'_, M, T>, i: usize) {
         self.nodes[i].backoff_ev = None;
-        let radio = &ctx.phy.nodes[i];
-        if !radio.up || radio.transmitting.is_some() {
+        if !ctx.phy.is_up(i) || ctx.phy.is_transmitting(i) {
             // An ACK may have seized the radio meanwhile; the queued frame
             // is retried when that transmission ends.
             return;
         }
-        if radio.busy_count > 0 {
+        if ctx.phy.is_busy(i) {
             // Medium busy: persistent CSMA, re-draw the backoff.
             self.try_start(ctx, i);
             return;
@@ -307,8 +305,7 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> Mac<M, T> for CsmaC
     }
 
     fn on_ack_due(&mut self, ctx: &mut MacCtx<'_, M, T>, i: usize, acked: TxId, to: NodeId) {
-        let radio = &ctx.phy.nodes[i];
-        if !radio.up || radio.transmitting.is_some() {
+        if !ctx.phy.is_up(i) || ctx.phy.is_transmitting(i) {
             return; // cannot ACK right now; the sender will retry
         }
         ctx.phy.start_frame(
@@ -322,8 +319,7 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> Mac<M, T> for CsmaC
     }
 
     fn on_cts_due(&mut self, ctx: &mut MacCtx<'_, M, T>, i: usize, to: NodeId) {
-        let radio = &ctx.phy.nodes[i];
-        if !radio.up || radio.transmitting.is_some() {
+        if !ctx.phy.is_up(i) || ctx.phy.is_transmitting(i) {
             return; // cannot answer; the RTS sender times out and retries
         }
         ctx.phy
@@ -335,7 +331,7 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> Mac<M, T> for CsmaC
     /// elapsed) and arm the ACK wait. Returns the abandoned packet if the
     /// turnaround had to fall back to a retry that exhausted the limit.
     fn on_data_due(&mut self, ctx: &mut MacCtx<'_, M, T>, i: usize) -> Option<Rc<Packet<M>>> {
-        if !ctx.phy.nodes[i].up {
+        if !ctx.phy.is_up(i) {
             return None;
         }
         let ready = self.nodes[i]
@@ -345,7 +341,7 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> Mac<M, T> for CsmaC
         if !ready {
             return None;
         }
-        if ctx.phy.nodes[i].transmitting.is_some() {
+        if ctx.phy.is_transmitting(i) {
             // Radio seized (we owed someone an ACK): fall back to a retry.
             let a = self.nodes[i].awaiting.take().expect("checked above");
             let last_tx = a.tx;

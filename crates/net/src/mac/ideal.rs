@@ -56,7 +56,7 @@ impl<M: Clone + std::fmt::Debug> IdealMac<M> {
 impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> Mac<M, T> for IdealMac<M> {
     fn enqueue(&mut self, ctx: &mut MacCtx<'_, M, T>, i: usize, packet: Packet<M>) {
         let packet = Rc::new(packet);
-        if ctx.phy.nodes[i].transmitting.is_some() {
+        if ctx.phy.is_transmitting(i) {
             self.queues[i].push_back(packet);
             return;
         }
@@ -75,7 +75,7 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> Mac<M, T> for Ideal
         _outcome: &TxOutcome<M>,
     ) {
         // No ACKs to await, no handshake to advance — just drain the FIFO.
-        if !ctx.phy.nodes[i].up {
+        if !ctx.phy.is_up(i) {
             return;
         }
         if let Some(packet) = self.queues[i].pop_front() {

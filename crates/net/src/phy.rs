@@ -2,8 +2,8 @@
 //! bookkeeping.
 //!
 //! [`Phy`] owns everything below the MAC — the topology (disc propagation),
-//! the per-node radio state ([`PhyNode`]: power, energy meter, the frame on
-//! the air, carrier-sense count, in-progress receptions), and the aggregate
+//! the per-node radio state (power, energy meter, the frame on the air,
+//! carrier-sense count, in-progress receptions), and the aggregate
 //! [`NetStats`]. Its contract with the MAC layer is two calls:
 //!
 //! * [`Phy::start_frame`] puts a frame on the air: it charges carrier sense
@@ -18,10 +18,18 @@
 //!   deferred interpretation of the outcome is what keeps the layers
 //!   independent.
 //!
+//! Per-node state is struct-of-arrays: the fields the broadcast loops touch
+//! for *every* hearer of *every* frame — `up` (a packed bitset), `meters`,
+//! `transmitting`, `busy_count` — are parallel arrays, while the cold
+//! reception state (`in_flight`, `active_rx`) lives in separate arrays the
+//! hot scan never walks. At 10k–100k nodes the hot arrays stay
+//! cache-resident where the old array-of-structs (one `PhyNode` with
+//! embedded `Vec`s per node) did not. See `DESIGN.md` §16.
+//!
 //! The broadcast loops iterate the topology's neighbor slices through split
-//! borrows (`topo` is a field disjoint from `nodes`/`stats`), so the steady
-//! state clones no neighbor lists and allocates nothing — see `DESIGN.md`
-//! §15 for the ownership rules.
+//! borrows (`topo` is a field disjoint from the per-node arrays and
+//! `stats`), so the steady state clones no neighbor lists and allocates
+//! nothing — see `DESIGN.md` §15 for the ownership rules.
 //!
 //! With [`Phy::capture`] set (the ideal contention-free MAC), the collision
 //! machinery is disabled: receivers decode every overlapping frame
@@ -39,6 +47,7 @@ use crate::energy::{EnergyMeter, RadioState};
 use crate::engine::Ev;
 use crate::node::NodeId;
 use crate::packet::{Packet, TxId};
+use crate::soa::NodeBits;
 use crate::topology::Topology;
 
 /// What a transmission carries.
@@ -100,12 +109,52 @@ impl<M> Frame<M> {
     }
 }
 
-/// Emits through a borrowed sink handle. Emission sites that hold a
-/// `&mut self.nodes[i]` split borrow reach the sink through the disjoint
+/// Emits through a borrowed sink handle. Emission sites inside the split
+/// borrows of the broadcast loops reach the sink through the disjoint
 /// `trace` field and emit through this instead of [`Phy::emit`].
 fn emit_to(trace: &Option<SharedSink>, rec: TraceRecord) {
     if let Some(t) = trace {
         t.borrow_mut().record(&rec);
+    }
+}
+
+/// Recomputes node `i`'s radio state after any bookkeeping change, debiting
+/// the closed interval to the trace if one is installed.
+///
+/// A free function over the individual hot arrays (rather than a `Phy`
+/// method) so the broadcast loops can call it while holding split borrows of
+/// the sibling arrays.
+fn update_meter_at(
+    meters: &mut [EnergyMeter],
+    up: &NodeBits,
+    transmitting: &[Option<TxId>],
+    busy_count: &[u32],
+    trace: &Option<SharedSink>,
+    i: usize,
+    now: SimTime,
+) {
+    let state = if !up.get(i) {
+        RadioState::Off
+    } else if transmitting[i].is_some() {
+        RadioState::Transmitting
+    } else if busy_count[i] > 0 {
+        RadioState::Receiving
+    } else {
+        RadioState::Idle
+    };
+    let (prev, joules) = meters[i].set_state(state, now);
+    // Zero-length and zero-power intervals produce no record, so the
+    // trace stream stays proportional to real state *changes*.
+    if joules > 0.0 {
+        emit_to(
+            trace,
+            TraceRecord::EnergyDebit {
+                t_ns: now.as_nanos(),
+                node: i as u32,
+                state: prev.name(),
+                joules,
+            },
+        );
     }
 }
 
@@ -188,51 +237,6 @@ impl NetStats {
     }
 }
 
-/// Per-node radio state.
-#[derive(Debug)]
-pub(crate) struct PhyNode<M> {
-    pub(crate) up: bool,
-    pub(crate) meter: EnergyMeter,
-    pub(crate) transmitting: Option<TxId>,
-    /// The frame currently on the air (present iff `transmitting` is).
-    in_flight: Option<Frame<M>>,
-    /// Number of in-range transmissions currently on the air (carrier sense).
-    pub(crate) busy_count: u32,
-    active_rx: Vec<RxEntry<M>>,
-}
-
-impl<M> PhyNode<M> {
-    /// Recomputes this node's radio state after any bookkeeping change,
-    /// debiting the closed interval to the trace if one is installed. Takes
-    /// the sink as a disjoint borrow so callers inside a `&mut nodes[i]`
-    /// split borrow can still debit.
-    fn update_meter(&mut self, trace: &Option<SharedSink>, i: usize, now: SimTime) {
-        let state = if !self.up {
-            RadioState::Off
-        } else if self.transmitting.is_some() {
-            RadioState::Transmitting
-        } else if self.busy_count > 0 {
-            RadioState::Receiving
-        } else {
-            RadioState::Idle
-        };
-        let (prev, joules) = self.meter.set_state(state, now);
-        // Zero-length and zero-power intervals produce no record, so the
-        // trace stream stays proportional to real state *changes*.
-        if joules > 0.0 {
-            emit_to(
-                trace,
-                TraceRecord::EnergyDebit {
-                    t_ns: now.as_nanos(),
-                    node: i as u32,
-                    state: prev.name(),
-                    joules,
-                },
-            );
-        }
-    }
-}
-
 /// A successfully decoded control frame, reported to the MAC at `TxEnd`.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum Control {
@@ -287,10 +291,25 @@ impl<M> TxOutcome<M> {
 
 /// The physical layer: topology, per-node radio state, and the receiver-side
 /// collision model. See the module docs for the `start_frame`/`finish_frame`
-/// contract with the MAC.
+/// contract with the MAC and for the struct-of-arrays layout of the per-node
+/// state.
 pub(crate) struct Phy<M> {
     pub(crate) topo: Topology,
-    pub(crate) nodes: Vec<PhyNode<M>>,
+    // ---- hot per-node arrays: touched for every hearer of every frame ----
+    /// Power state, packed 64 nodes to a word.
+    up: NodeBits,
+    /// Energy meters, advanced on every radio-state change.
+    meters: Vec<EnergyMeter>,
+    /// The transmission each node has on the air, if any.
+    transmitting: Vec<Option<TxId>>,
+    /// Number of in-range transmissions currently on the air (carrier
+    /// sense).
+    busy_count: Vec<u32>,
+    // ---- cold per-node arrays: only touched at the nodes a frame reaches ----
+    /// The frame each node has on the air (present iff `transmitting` is).
+    in_flight: Vec<Option<Frame<M>>>,
+    /// In-progress receptions at each node.
+    active_rx: Vec<Vec<RxEntry<M>>>,
     pub(crate) stats: NetStats,
     next_tx: u64,
     /// The installed trace sink, if any. `None` keeps every emission site
@@ -312,7 +331,10 @@ impl<M: std::fmt::Debug> std::fmt::Debug for Phy<M> {
         // Manual impl: the sink handle is a trait object with no Debug.
         f.debug_struct("Phy")
             .field("topo", &self.topo)
-            .field("nodes", &self.nodes)
+            .field("up", &self.up)
+            .field("meters", &self.meters)
+            .field("transmitting", &self.transmitting)
+            .field("busy_count", &self.busy_count)
             .field("stats", &self.stats)
             .field("next_tx", &self.next_tx)
             .field("trace", &self.trace.is_some())
@@ -326,19 +348,14 @@ impl<M: Clone + std::fmt::Debug> Phy<M> {
     pub(crate) fn new(topo: Topology, cfg: &NetConfig, capture: bool) -> Self {
         let n = topo.len();
         let now = SimTime::ZERO;
-        let nodes = (0..n)
-            .map(|_| PhyNode {
-                up: true,
-                meter: EnergyMeter::new(cfg.energy, now),
-                transmitting: None,
-                in_flight: None,
-                busy_count: 0,
-                active_rx: Vec::new(),
-            })
-            .collect();
         Phy {
             topo,
-            nodes,
+            up: NodeBits::new_all_set(n),
+            meters: (0..n).map(|_| EnergyMeter::new(cfg.energy, now)).collect(),
+            transmitting: vec![None; n],
+            busy_count: vec![0; n],
+            in_flight: (0..n).map(|_| None).collect(),
+            active_rx: (0..n).map(|_| Vec::new()).collect(),
             stats: NetStats {
                 per_node: vec![NodeStats::default(); n],
                 collisions: 0,
@@ -348,6 +365,45 @@ impl<M: Clone + std::fmt::Debug> Phy<M> {
             lineage: LineageTable::new(),
             capture,
         }
+    }
+
+    /// The number of nodes.
+    pub(crate) fn len(&self) -> usize {
+        self.up.len()
+    }
+
+    /// Whether node `i` is powered.
+    #[inline]
+    pub(crate) fn is_up(&self, i: usize) -> bool {
+        self.up.get(i)
+    }
+
+    /// Sets node `i`'s power state (the failure layer's entry point).
+    pub(crate) fn set_up(&mut self, i: usize, value: bool) {
+        self.up.set(i, value);
+    }
+
+    /// Whether node `i` has a frame on the air.
+    #[inline]
+    pub(crate) fn is_transmitting(&self, i: usize) -> bool {
+        self.transmitting[i].is_some()
+    }
+
+    /// Whether node `i` senses the medium busy (any in-range transmission on
+    /// the air).
+    #[inline]
+    pub(crate) fn is_busy(&self, i: usize) -> bool {
+        self.busy_count[i] > 0
+    }
+
+    /// Node `i`'s energy meter.
+    pub(crate) fn meter(&self, i: usize) -> &EnergyMeter {
+        &self.meters[i]
+    }
+
+    /// All energy meters, indexed by node.
+    pub(crate) fn meters(&self) -> &[EnergyMeter] {
+        &self.meters
     }
 
     /// Whether a trace sink is installed (callers gate expensive record
@@ -378,11 +434,18 @@ impl<M: Clone + std::fmt::Debug> Phy<M> {
         let tx = TxId(self.next_tx);
         self.next_tx += 1;
         // Split borrows: the neighbor slice lives in `topo`, disjoint from
-        // the per-node state in `nodes` and the counters in `stats`, so the
-        // loops below iterate it directly — no neighbor-list clone.
+        // the per-node arrays and the counters in `stats`, so the loops
+        // below iterate it directly — no neighbor-list clone. Each SoA
+        // field is its own borrow, so mutating `active_rx` never conflicts
+        // with reading `up` or `transmitting`.
         let Phy {
             topo,
-            nodes,
+            up,
+            meters,
+            transmitting,
+            busy_count,
+            in_flight,
+            active_rx,
             stats,
             trace,
             lineage,
@@ -404,13 +467,12 @@ impl<M: Clone + std::fmt::Debug> Phy<M> {
                 },
             );
         }
-        let node = &mut nodes[i];
-        debug_assert!(node.transmitting.is_none(), "radio already busy");
-        node.transmitting = Some(tx);
-        node.in_flight = Some(frame.clone());
+        debug_assert!(transmitting[i].is_none(), "radio already busy");
+        transmitting[i] = Some(tx);
+        in_flight[i] = Some(frame.clone());
         if !capture {
             // Half-duplex: anything we were receiving is lost.
-            for rx in &mut node.active_rx {
+            for rx in &mut active_rx[i] {
                 if !rx.corrupted {
                     rx.corrupted = true;
                     stats.collisions += 1;
@@ -424,28 +486,28 @@ impl<M: Clone + std::fmt::Debug> Phy<M> {
                 }
             }
         }
-        node.update_meter(trace, i, now);
+        update_meter_at(meters, up, transmitting, busy_count, trace, i, now);
 
         let sender = NodeId::from_index(i);
         for &v in topo.neighbors(sender) {
             let vi = v.index();
-            let vn = &mut nodes[vi];
-            vn.busy_count += 1;
+            busy_count[vi] += 1;
             if capture {
                 // Perfect capture: every powered hearer decodes the frame,
                 // overlap or not, even while transmitting itself.
-                if vn.up {
-                    vn.active_rx.push(RxEntry {
+                if up.get(vi) {
+                    active_rx[vi].push(RxEntry {
                         tx,
                         frame: frame.clone(),
                         corrupted: false,
                     });
                 }
-            } else if vn.up && vn.transmitting.is_none() {
+            } else if up.get(vi) && transmitting[vi].is_none() {
                 // Overlap with any ongoing reception corrupts everything.
-                let corrupted = !vn.active_rx.is_empty();
+                let rx_list = &mut active_rx[vi];
+                let corrupted = !rx_list.is_empty();
                 if corrupted {
-                    for rx in &mut vn.active_rx {
+                    for rx in rx_list.iter_mut() {
                         if !rx.corrupted {
                             rx.corrupted = true;
                             stats.collisions += 1;
@@ -455,13 +517,13 @@ impl<M: Clone + std::fmt::Debug> Phy<M> {
                     stats.collisions += 1;
                     emit_to(trace, TraceRecord::Collision { t_ns, node: v.0 });
                 }
-                vn.active_rx.push(RxEntry {
+                rx_list.push(RxEntry {
                     tx,
                     frame: frame.clone(),
                     corrupted,
                 });
             }
-            vn.update_meter(trace, vi, now);
+            update_meter_at(meters, up, transmitting, busy_count, trace, vi, now);
         }
         let duration = cfg.tx_duration(bytes);
         sim.schedule_after(duration, Ev::TxEnd { node: sender, tx });
@@ -483,24 +545,29 @@ impl<M: Clone + std::fmt::Debug> Phy<M> {
         let t_ns = now.as_nanos();
         let Phy {
             topo,
-            nodes,
+            up,
+            meters,
+            transmitting,
+            busy_count,
+            in_flight,
+            active_rx,
             stats,
             trace,
             ..
         } = self;
-        debug_assert_eq!(nodes[i].transmitting, Some(tx), "TxEnd out of order");
-        nodes[i].transmitting = None;
-        let frame = nodes[i].in_flight.take().expect("frame in flight");
-        nodes[i].update_meter(trace, i, now);
+        debug_assert_eq!(transmitting[i], Some(tx), "TxEnd out of order");
+        transmitting[i] = None;
+        let frame = in_flight[i].take().expect("frame in flight");
+        update_meter_at(meters, up, transmitting, busy_count, trace, i, now);
 
         let sender = NodeId::from_index(i);
         for &v in topo.neighbors(sender) {
             let vi = v.index();
-            let vn = &mut nodes[vi];
-            debug_assert!(vn.busy_count > 0, "busy count underflow at {v}");
-            vn.busy_count -= 1;
-            if let Some(pos) = vn.active_rx.iter().position(|r| r.tx == tx) {
-                let entry = vn.active_rx.swap_remove(pos);
+            debug_assert!(busy_count[vi] > 0, "busy count underflow at {v}");
+            busy_count[vi] -= 1;
+            let rx_list = &mut active_rx[vi];
+            if let Some(pos) = rx_list.iter().position(|r| r.tx == tx) {
+                let entry = rx_list.swap_remove(pos);
                 if entry.corrupted {
                     stats.per_node[vi].rx_corrupted += 1;
                     emit_to(
@@ -512,7 +579,7 @@ impl<M: Clone + std::fmt::Debug> Phy<M> {
                             tx: Some(tx.0),
                         },
                     );
-                } else if vn.up {
+                } else if up.get(vi) {
                     match &entry.frame {
                         Frame::Payload(pkt) => {
                             stats.per_node[vi].rx_ok += 1;
@@ -563,7 +630,7 @@ impl<M: Clone + std::fmt::Debug> Phy<M> {
                     }
                 }
             }
-            vn.update_meter(trace, vi, now);
+            update_meter_at(meters, up, transmitting, busy_count, trace, vi, now);
         }
         let _ = frame;
     }
@@ -575,13 +642,13 @@ impl<M: Clone + std::fmt::Debug> Phy<M> {
     /// the truncated frame is simply never decoded — no collision is
     /// recorded.
     pub(crate) fn fail_transmission(&mut self, now: SimTime, i: usize) {
-        let Some(tx) = self.nodes[i].transmitting else {
+        let Some(tx) = self.transmitting[i] else {
             return;
         };
         let me = NodeId::from_index(i);
         let Phy {
             topo,
-            nodes,
+            active_rx,
             stats,
             trace,
             capture,
@@ -589,12 +656,12 @@ impl<M: Clone + std::fmt::Debug> Phy<M> {
         } = self;
         if *capture {
             for &v in topo.neighbors(me) {
-                nodes[v.index()].active_rx.retain(|rx| rx.tx != tx);
+                active_rx[v.index()].retain(|rx| rx.tx != tx);
             }
             return;
         }
         for &v in topo.neighbors(me) {
-            for rx in &mut nodes[v.index()].active_rx {
+            for rx in &mut active_rx[v.index()] {
                 if rx.tx == tx && !rx.corrupted {
                     rx.corrupted = true;
                     stats.collisions += 1;
@@ -613,13 +680,20 @@ impl<M: Clone + std::fmt::Debug> Phy<M> {
     /// Clears a failed node's reception state (its own transmission, if any,
     /// is handled by [`Phy::fail_transmission`] first).
     pub(crate) fn clear_receptions(&mut self, i: usize) {
-        self.nodes[i].active_rx.clear();
+        self.active_rx[i].clear();
     }
 
     /// Recomputes the radio state after any bookkeeping change, debiting the
     /// closed interval to the trace if one is installed.
     pub(crate) fn update_meter(&mut self, i: usize, now: SimTime) {
-        let Phy { nodes, trace, .. } = self;
-        nodes[i].update_meter(trace, i, now);
+        let Phy {
+            up,
+            meters,
+            transmitting,
+            busy_count,
+            trace,
+            ..
+        } = self;
+        update_meter_at(meters, up, transmitting, busy_count, trace, i, now);
     }
 }

@@ -27,7 +27,7 @@ mod render;
 mod spec;
 
 pub use failures::{downtime_fraction, rolling_failures, FailureConfig, FailureEvent};
-pub use field::{generate_field, Field};
+pub use field::{generate_field, generate_field_with, Connectivity, Field};
 pub use placement::{
     pick_nodes_in_region, pick_nodes_uniform, place_sinks, place_sources, SinkPlacement,
     SourcePlacement,

@@ -133,6 +133,16 @@ pub fn pick_nodes_uniform(
         .collect()
 }
 
+/// Node ids outside the field's connected core (empty for fully connected
+/// fields). Roles must live inside the core: a source or sink in a
+/// stray fragment could never exchange a packet with the rest of the
+/// field.
+fn off_core(field: &Field) -> impl Iterator<Item = NodeId> + '_ {
+    (0..field.positions.len())
+        .map(NodeId::from_index)
+        .filter(|&id| !field.in_core(id))
+}
+
 /// Selects the sinks for a field per the placement scheme.
 pub fn place_sinks(
     field: &Field,
@@ -141,7 +151,7 @@ pub fn place_sinks(
     rng: &mut SimRng,
 ) -> Vec<NodeId> {
     let SinkPlacement::CornerThenUniform { side } = placement;
-    let mut exclude = HashSet::new();
+    let mut exclude: HashSet<NodeId> = off_core(field).collect();
     let mut sinks = Vec::with_capacity(count);
     if count == 0 {
         return sinks;
@@ -170,7 +180,8 @@ pub fn place_sources(
     sinks: &[NodeId],
     rng: &mut SimRng,
 ) -> Vec<NodeId> {
-    let exclude: HashSet<NodeId> = sinks.iter().copied().collect();
+    let mut exclude: HashSet<NodeId> = sinks.iter().copied().collect();
+    exclude.extend(off_core(field));
     match placement {
         SourcePlacement::Corner { side } => {
             let region = field.area.bottom_left(side, side);

@@ -11,7 +11,7 @@ use wsn_net::{MacKind, NodeId};
 use wsn_sim::{SimDuration, SimRng, SimTime};
 
 use crate::failures::{rolling_failures, FailureConfig, FailureEvent};
-use crate::field::{generate_field, Field};
+use crate::field::{generate_field_with, Connectivity, Field};
 use crate::placement::{place_sinks, place_sources, SinkPlacement, SourcePlacement};
 
 /// RNG stream labels.
@@ -28,6 +28,12 @@ pub struct ScenarioSpec {
     pub field_side_m: f64,
     /// Radio range, meters (paper: 40).
     pub range_m: f64,
+    /// What connectivity an accepted placement must have. The paper's
+    /// full-connectivity rule by default; scaled extrapolation runs
+    /// (`--scale`) switch to a giant-component requirement because full
+    /// connectivity of a constant-density random field vanishes as n
+    /// grows (see `crate::Connectivity`).
+    pub connectivity: Connectivity,
     /// Number of sources (paper default: 5).
     pub num_sources: usize,
     /// Number of sinks (paper default: 1).
@@ -55,6 +61,7 @@ impl Default for ScenarioSpec {
             node_count: 200,
             field_side_m: 200.0,
             range_m: 40.0,
+            connectivity: Connectivity::Full,
             num_sources: 5,
             num_sinks: 1,
             source_placement: SourcePlacement::PAPER_CORNER,
@@ -107,10 +114,11 @@ impl ScenarioSpec {
             self.node_count
         );
         let mut field_rng = SimRng::from_seed_stream(self.seed, STREAM_FIELD);
-        let field = generate_field(
+        let field = generate_field_with(
             self.node_count,
             self.field_side_m,
             self.range_m,
+            self.connectivity,
             &mut field_rng,
         );
         let mut place_rng = SimRng::from_seed_stream(self.seed, STREAM_PLACE);

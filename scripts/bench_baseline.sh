@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
-# Perf baseline for the run-execution layer: run a small fixed sweep with
-# per-job NDJSON --progress lines and join them into BENCH_PR5.json
-# (per-job simulator events, wall ms, events/sec) so later PRs have a
-# recorded reference point to diff against. bash + grep/sed only — no jq.
+# Perf baseline: run a small fixed sweep with per-job NDJSON --progress
+# lines, time the 10k-node scale path (grid topology build + a short
+# 10k-node sim), and join everything into BENCH_PR6.json so later PRs
+# have a recorded reference point to diff against. bash + grep/sed only —
+# no jq.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR5.json}"
+out="${1:-BENCH_PR6.json}"
 progress_log="$(mktemp)"
-trap 'rm -f "$progress_log" "$out.tmp"' EXIT
+scale_log="$(mktemp)"
+trap 'rm -f "$progress_log" "$scale_log" "$out.tmp"' EXIT
 
 cargo build --release -p wsn-bench >/dev/null
 
@@ -20,11 +22,25 @@ cargo run --release -p wsn-bench --bin fig8 -- \
 jobs_n="$(grep -c '^{"job"' "$progress_log")"
 test "$jobs_n" -gt 0
 
+# The 10k-node scale path (PR 6): topology build through the spatial grid
+# and a 2-simulated-second full-stack run at 10,000 nodes.
+WSN_BENCH_ONLY=10k cargo bench -p wsn-bench --bench micro >"$scale_log" 2>/dev/null
+median_of() { # median_of NAME — median ns from the bench report
+    grep -F "$1 " "$scale_log" | sed -n 's/.*median *\([0-9]*\) ns.*/\1/p' | head -1
+}
+topo_10k="$(median_of topology/build_10k)"
+sim_10k="$(median_of scale/sim_10k_2s)"
+test -n "$topo_10k" && test -n "$sim_10k"
+
 {
     printf '{"bench":"fig8 --quick --fields 2 --duration 30 --jobs 1",\n'
+    printf ' "scale_median_ns":{\n'
+    printf '  "topology/build_10k":%s,\n' "$topo_10k"
+    printf '  "scale/sim_10k_2s":%s\n' "$sim_10k"
+    printf ' },\n'
     printf ' "jobs":[\n'
     grep '^{"job"' "$progress_log" | sed 's/^/  /;$!s/$/,/'
     printf ' ]}\n'
 } >"$out.tmp"
 mv "$out.tmp" "$out"
-echo "wrote $out ($jobs_n job records)"
+echo "wrote $out ($jobs_n job records, topology/build_10k ${topo_10k} ns)"

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# Perf regression gate for PR 5 (zero-allocation hot path): re-run the
-# baseline sweep, measure the dispatch profiler's wall-clock overhead, run
-# the hot-path microbenchmarks, and join everything into BENCH_PR5.json
-# (per-job best-of-N over BENCH_REPS repetitions, default 5; the jobs
-# arrays record every rep). Exits 1 if mean events/sec regressed more than
-# 10% against the recorded BENCH_PR4.json, or if any recorded hot-path
-# microbenchmark median got more than 10% slower. Events/sec is
+# Perf regression gate for PR 6 (spatial-grid topology + SoA engine
+# state): re-run the baseline sweep, measure the dispatch profiler's
+# wall-clock overhead, run the hot-path and 10k-scale microbenchmarks,
+# and join everything into BENCH_PR6.json (per-job best-of-N over
+# BENCH_REPS repetitions, default 5; the jobs arrays record every rep).
+# Exits 1 if mean events/sec regressed more than 10% against the recorded
+# BENCH_PR5.json, if any recorded hot-path microbenchmark median got more
+# than 10% slower, or if the 10k-node topology build exceeds its 100 ms
+# absolute ceiling (the PR 6 acceptance bar). Events/sec is
 # machine-state-dependent, so a missed gate first re-measures, then
 # recalibrates: it rebuilds the commit that recorded the reference
 # artifact and measures it on this machine, comparing like with like.
@@ -13,8 +15,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR5.json}"
-baseline_ref="BENCH_PR4.json"
+out="${1:-BENCH_PR6.json}"
+baseline_ref="BENCH_PR5.json"
 reps="${BENCH_REPS:-5}"
 base_log="$(mktemp)"
 prof_log="$(mktemp)"
@@ -88,13 +90,16 @@ for i in $(seq "$over_reps"); do
     fi
 done
 
-# --- Hot-path microbenchmarks (PR 5): the slab event queue and the PHY
-# broadcast loop. Best-of-$micro_reps medians per benchmark; recorded in
-# the artifact and gated against the reference artifact's recorded medians
-# when present (artifacts predating PR 5 carry none, so against those this
-# run only records).
+# --- Hot-path microbenchmarks (PR 5) and the 10k-scale path (PR 6): the
+# slab event queue, the PHY broadcast loop, the spatial-grid topology
+# build, and a short 10k-node sim. Best-of-$micro_reps medians per
+# benchmark; recorded in the artifact and gated against the reference
+# artifact's recorded medians when present (a reference predating a
+# benchmark carries no median for it, so against that reference this run
+# only records).
 micro_benches="event_queue/push_pop_10k event_queue/cancel_half_10k \
-event_queue/churn_steady_64 phy/broadcast_grid36_10s"
+event_queue/churn_steady_64 phy/broadcast_grid36_10s \
+topology/build_10k scale/sim_10k_2s"
 micro_log="$(mktemp)"
 trap 'rm -f "$base_log" "$prof_log" "$try_log" "$over_base_log" \
     "$over_prof_log" "$micro_log" "$out.tmp"' EXIT
@@ -109,6 +114,17 @@ micro_median() { # micro_median NAME — best (min) median ns across reps
 for b in $micro_benches; do # every benchmark must have produced a number
     test -n "$(micro_median "$b")"
 done
+
+# PR 6 acceptance bar: the 10k-node grid topology build must stay under an
+# absolute 100 ms ceiling, independent of any recorded reference.
+topo_10k_ns="$(micro_median topology/build_10k)"
+if awk -v ns="$topo_10k_ns" 'BEGIN {exit !(ns < 100000000)}'; then
+    echo "OK: topology/build_10k median ${topo_10k_ns} ns (< 100 ms ceiling)"
+else
+    echo "FAIL: topology/build_10k median ${topo_10k_ns} ns exceeds the" \
+         "100 ms ceiling"
+    exit 1
+fi
 
 jobs_n="$(grep -c '^{"job"' "$base_log")"
 test "$jobs_n" -gt 0

@@ -40,6 +40,15 @@ audit="$(cargo run --release -p wsn-bench --bin trace_audit -- "$tracedir/a")"
 echo "$audit" | tail -1
 echo "$audit" | grep -q ", 0 violation(s)"
 
+echo "==> scale smoke: 10k-node field + capped sim (run_one --scale 50)"
+# Density-preserving scale-up: 200 nodes x50 in a 1414 m square. Builds
+# the field through the spatial grid and runs a short watchdog-capped sim
+# so the 10k-node path cannot rot.
+scale_out="$(cargo run --release -p wsn-bench --bin run_one -- \
+    --nodes 200 --scale 50 --duration 5 --max-events 5000000)"
+echo "$scale_out" | head -1
+echo "$scale_out" | grep -q "field: 10000 nodes"
+
 echo "==> perf gate: scripts/bench_compare.sh"
 ./scripts/bench_compare.sh
 

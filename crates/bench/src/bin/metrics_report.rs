@@ -1,0 +1,433 @@
+//! Reduce a metrics directory (`--metrics DIR` on any figure binary or
+//! `run_one`) into per-layer tables, and optionally cross-check every
+//! registry total against the matching telemetry trace.
+//!
+//! ```sh
+//! cargo run --release -p wsn-bench --bin fig8 -- --quick --metrics m/ --trace t/
+//! cargo run --release -p wsn-bench --bin metrics_report -- m/ --audit t/
+//! ```
+//!
+//! Without `--audit`, prints one report per `*.metrics.jsonl` file: metric
+//! families grouped by layer prefix (`phy.`, `mac.`, `engine.`,
+//! `diffusion.`) in registration order, counters and gauges as totals,
+//! histograms as count/sum/mean plus a sparkline over the log2 buckets.
+//!
+//! With `--audit TRACE_DIR`, each `NAME.metrics.jsonl` is paired with
+//! `TRACE_DIR/NAME.jsonl` and the registry totals are reconciled against
+//! trace-derived totals with **zero tolerance**: frames by kind vs `tx`
+//! lines, receptions vs `rx` lines, collisions vs `collision` lines, drops
+//! by reason vs `drop` lines, item drops by reason vs `item_drop` lines,
+//! reinforcements vs `reinforce` lines, tree edges vs `tree_edge` lines,
+//! aggregation fan-in count/sum vs `agg_merge` lines, and per-state energy
+//! vs the nanojoule-quantized sum of `energy` debits. The metrics side
+//! quantizes each debit independently (`joules_to_nj` per record), so the
+//! audit does the same — summing floats first would drift.
+//!
+//! Also accepts a single `.metrics.jsonl` file in place of a directory.
+//! Exit status: `0` clean, `1` when any audit finds violations, `2` on
+//! usage or I/O errors.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use wsn_metrics::{joules_to_nj, MetricType, MetricsLine, HIST_BUCKETS};
+use wsn_trace::{DropReason, ENERGY_STATES};
+
+/// Frame-kind labels in `phy.frames_tx{kind=..}` registration order.
+const FRAME_KINDS: [&str; 4] = ["data", "ack", "rts", "cts"];
+
+struct Args {
+    path: PathBuf,
+    audit: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut path: Option<PathBuf> = None;
+    let mut audit: Option<PathBuf> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--audit" => {
+                let Some(dir) = it.next() else {
+                    eprintln!("--audit needs a trace directory");
+                    std::process::exit(2);
+                };
+                audit = Some(PathBuf::from(dir));
+            }
+            other if other.starts_with("--") => {
+                eprintln!(
+                    "unknown argument {other:?}; usage: metrics_report [--audit TRACE_DIR] \
+                     DIR|FILE.metrics.jsonl"
+                );
+                std::process::exit(2);
+            }
+            other => {
+                if path.is_some() {
+                    eprintln!("at most one metrics path, got a second: {other:?}");
+                    std::process::exit(2);
+                }
+                path = Some(PathBuf::from(other));
+            }
+        }
+    }
+    let path = path.unwrap_or_else(|| {
+        eprintln!("usage: metrics_report [--audit TRACE_DIR] DIR|FILE.metrics.jsonl");
+        std::process::exit(2);
+    });
+    Args { path, audit }
+}
+
+/// The `.metrics.jsonl` files under `path` (or `path` itself if it is a
+/// file), sorted by name for deterministic report order.
+fn metrics_files(path: &Path) -> Vec<PathBuf> {
+    if path.is_file() {
+        return vec![path.to_path_buf()];
+    }
+    let Ok(entries) = std::fs::read_dir(path) else {
+        return Vec::new();
+    };
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(".metrics.jsonl"))
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+/// One metrics stream, decoded: names in registration order plus the final
+/// absolute totals from the `mtotal` line.
+struct Stream {
+    /// `(full name, type, per-type index)` in registration order.
+    metrics: Vec<(String, MetricType, u32)>,
+    /// Number of `mdelta` snapshot lines seen.
+    snapshots: usize,
+    counters: HashMap<u32, u64>,
+    gauges: HashMap<u32, u64>,
+    /// `hist index -> bucket -> count`.
+    hist_buckets: HashMap<u32, [u64; HIST_BUCKETS]>,
+    /// `hist index -> (count, sum)`.
+    hist_stats: HashMap<u32, (u64, u64)>,
+}
+
+impl Stream {
+    fn parse(text: &str, file: &Path) -> Result<Stream, String> {
+        let mut metrics = Vec::new();
+        let mut type_counts = [0u32; 3];
+        let mut snapshots = 0usize;
+        let mut totals = None;
+        for (lineno, line) in text.lines().enumerate() {
+            let parsed = MetricsLine::parse(line)
+                .map_err(|e| format!("{}:{}: {e}", file.display(), lineno + 1))?;
+            match parsed {
+                MetricsLine::Header { metrics: names, .. } => {
+                    for (name, kind) in names {
+                        let slot = &mut type_counts[kind as usize];
+                        metrics.push((name, kind, *slot));
+                        *slot += 1;
+                    }
+                }
+                MetricsLine::Delta { .. } => snapshots += 1,
+                MetricsLine::Total {
+                    counters,
+                    gauges,
+                    hist,
+                    hist_stats,
+                    ..
+                } => totals = Some((counters, gauges, hist, hist_stats)),
+            }
+        }
+        let Some((counters, gauges, hist, hist_stats)) = totals else {
+            return Err(format!(
+                "{}: no mtotal line (truncated run?)",
+                file.display()
+            ));
+        };
+        let mut hist_buckets: HashMap<u32, [u64; HIST_BUCKETS]> = HashMap::new();
+        for (i, b, n) in hist {
+            hist_buckets.entry(i).or_insert([0; HIST_BUCKETS])[b as usize] = n;
+        }
+        Ok(Stream {
+            metrics,
+            snapshots,
+            counters: counters.into_iter().collect(),
+            gauges: gauges.into_iter().collect(),
+            hist_buckets,
+            hist_stats: hist_stats
+                .into_iter()
+                .map(|(i, count, sum)| (i, (count, sum)))
+                .collect(),
+        })
+    }
+
+    /// The final total of the named counter, if registered.
+    fn counter(&self, name: &str) -> Option<u64> {
+        self.metrics
+            .iter()
+            .find(|(n, k, _)| n == name && *k == MetricType::Counter)
+            .map(|(_, _, i)| self.counters.get(i).copied().unwrap_or(0))
+    }
+
+    /// The final `(count, sum)` of the named histogram, if registered.
+    fn hist(&self, name: &str) -> Option<(u64, u64)> {
+        self.metrics
+            .iter()
+            .find(|(n, k, _)| n == name && *k == MetricType::Histogram)
+            .map(|(_, _, i)| self.hist_stats.get(i).copied().unwrap_or((0, 0)))
+    }
+}
+
+/// Renders a histogram's non-empty bucket range as a sparkline, one glyph
+/// per log2 bucket scaled to the fullest bucket.
+fn sparkline(buckets: &[u64; HIST_BUCKETS]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let last = match buckets.iter().rposition(|&n| n > 0) {
+        Some(i) => i,
+        None => return "(empty)".to_string(),
+    };
+    let max = *buckets.iter().max().expect("fixed-size array");
+    buckets[..=last]
+        .iter()
+        .map(|&n| {
+            if n == 0 {
+                '·'
+            } else {
+                // Non-empty buckets always get at least the lowest bar.
+                GLYPHS[((n * 8 - 1) / max).min(7) as usize]
+            }
+        })
+        .collect()
+}
+
+/// Prints one stream's per-layer tables.
+fn report(stream: &Stream) {
+    println!("  ({} snapshot deltas)", stream.snapshots);
+    let mut layer: &str = "";
+    for (name, kind, i) in &stream.metrics {
+        let this_layer = name.split('.').next().unwrap_or(name);
+        if this_layer != layer {
+            layer = this_layer;
+            println!("  [{layer}]");
+        }
+        match kind {
+            MetricType::Counter => {
+                let v = stream.counters.get(i).copied().unwrap_or(0);
+                println!("    {name:<42} {v:>12}");
+            }
+            MetricType::Gauge => {
+                let v = stream.gauges.get(i).copied().unwrap_or(0);
+                println!("    {name:<42} {v:>12}  (final level)");
+            }
+            MetricType::Histogram => {
+                let (count, sum) = stream.hist_stats.get(i).copied().unwrap_or((0, 0));
+                let mean = if count > 0 {
+                    format!("{:.2}", sum as f64 / count as f64)
+                } else {
+                    "-".to_string()
+                };
+                let empty = [0u64; HIST_BUCKETS];
+                let buckets = stream.hist_buckets.get(i).unwrap_or(&empty);
+                println!(
+                    "    {name:<42} {count:>12}  sum {sum}  mean {mean}  {}",
+                    sparkline(buckets)
+                );
+            }
+        }
+    }
+}
+
+/// Totals recomputed from a telemetry trace, in the units the registry
+/// counts them.
+#[derive(Default)]
+struct TraceTotals {
+    tx_by_kind: HashMap<String, u64>,
+    rx: u64,
+    collisions: u64,
+    drops: [u64; DropReason::ALL.len()],
+    item_drops: [u64; DropReason::ALL.len()],
+    energy_nj: [u64; ENERGY_STATES.len()],
+    reinforcements: u64,
+    tree_edges: u64,
+    agg_count: u64,
+    agg_inputs_sum: u64,
+}
+
+fn reason_slot(name: &str) -> Option<usize> {
+    let reason = DropReason::parse(name)?;
+    DropReason::ALL.iter().position(|&r| r == reason)
+}
+
+fn trace_totals(text: &str) -> TraceTotals {
+    let mut t = TraceTotals::default();
+    for line in text.lines() {
+        let Some(p) = wsn_trace::parse_line(line) else {
+            continue;
+        };
+        match p.tag().unwrap_or("") {
+            "tx" => {
+                if let Some(kind) = p.str_field("kind") {
+                    *t.tx_by_kind.entry(kind.to_string()).or_insert(0) += 1;
+                }
+            }
+            "rx" => t.rx += 1,
+            "collision" => t.collisions += 1,
+            "drop" => {
+                if let Some(slot) = p.str_field("reason").and_then(reason_slot) {
+                    t.drops[slot] += 1;
+                }
+            }
+            "item_drop" => {
+                if let Some(slot) = p.str_field("reason").and_then(reason_slot) {
+                    t.item_drops[slot] += 1;
+                }
+            }
+            "energy" => {
+                if let (Some(state), Some(joules)) = (p.str_field("state"), p.f64_field("joules")) {
+                    if let Some(slot) = ENERGY_STATES.iter().position(|&s| s == state) {
+                        // Quantize per debit, exactly as the registry did.
+                        t.energy_nj[slot] += joules_to_nj(joules);
+                    }
+                }
+            }
+            "reinforce" => t.reinforcements += 1,
+            "tree_edge" => t.tree_edges += 1,
+            "agg_merge" => {
+                t.agg_count += 1;
+                t.agg_inputs_sum += p.u64_field("inputs").unwrap_or(0);
+            }
+            _ => {}
+        }
+    }
+    t
+}
+
+/// Cross-checks one metrics stream against its trace. Returns the number of
+/// violations, printing one line per mismatch.
+fn audit(stream: &Stream, trace: &TraceTotals) -> usize {
+    let mut violations = 0usize;
+    let mut check = |name: &str, registry: Option<u64>, expected: u64| {
+        let Some(got) = registry else {
+            println!("  VIOLATION: metric {name} missing from the stream header");
+            violations += 1;
+            return;
+        };
+        if got != expected {
+            println!("  VIOLATION: {name}: registry {got} != trace {expected}");
+            violations += 1;
+        }
+    };
+    for kind in FRAME_KINDS {
+        check(
+            &format!("phy.frames_tx{{kind={kind}}}"),
+            stream.counter(&format!("phy.frames_tx{{kind={kind}}}")),
+            trace.tx_by_kind.get(kind).copied().unwrap_or(0),
+        );
+    }
+    check("phy.frames_rx", stream.counter("phy.frames_rx"), trace.rx);
+    check(
+        "phy.collisions",
+        stream.counter("phy.collisions"),
+        trace.collisions,
+    );
+    for (slot, reason) in DropReason::ALL.iter().enumerate() {
+        let name = format!("phy.drops{{reason={}}}", reason.name());
+        check(&name, stream.counter(&name), trace.drops[slot]);
+        let name = format!("diffusion.item_drops{{reason={}}}", reason.name());
+        check(&name, stream.counter(&name), trace.item_drops[slot]);
+    }
+    for (slot, state) in ENERGY_STATES.iter().enumerate() {
+        let name = format!("phy.energy_nj{{state={state}}}");
+        check(&name, stream.counter(&name), trace.energy_nj[slot]);
+    }
+    check(
+        "diffusion.reinforcements",
+        stream.counter("diffusion.reinforcements"),
+        trace.reinforcements,
+    );
+    check(
+        "diffusion.tree_edges_added",
+        stream.counter("diffusion.tree_edges_added"),
+        trace.tree_edges,
+    );
+    match stream.hist("diffusion.agg_fanin") {
+        Some((count, sum)) => {
+            if count != trace.agg_count || sum != trace.agg_inputs_sum {
+                println!(
+                    "  VIOLATION: diffusion.agg_fanin: registry count {count} sum {sum} != \
+                     trace count {} sum {}",
+                    trace.agg_count, trace.agg_inputs_sum
+                );
+                violations += 1;
+            }
+        }
+        None => {
+            println!("  VIOLATION: metric diffusion.agg_fanin missing from the stream header");
+            violations += 1;
+        }
+    }
+    violations
+}
+
+/// `NAME.metrics.jsonl` → `TRACE_DIR/NAME.jsonl`.
+fn trace_path_for(metrics_file: &Path, trace_dir: &Path) -> PathBuf {
+    let name = metrics_file
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("");
+    let stem = name.strip_suffix(".metrics.jsonl").unwrap_or(name);
+    trace_dir.join(format!("{stem}.jsonl"))
+}
+
+fn main() {
+    let args = parse_args();
+    let files = metrics_files(&args.path);
+    if files.is_empty() {
+        eprintln!("error: no .metrics.jsonl files at {}", args.path.display());
+        std::process::exit(2);
+    }
+    let mut total_violations = 0usize;
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", file.display());
+                std::process::exit(2);
+            }
+        };
+        let stream = match Stream::parse(&text, file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        };
+        println!("=== {} ===", file.display());
+        report(&stream);
+        if let Some(trace_dir) = &args.audit {
+            let trace_file = trace_path_for(file, trace_dir);
+            let trace_text = match std::fs::read_to_string(&trace_file) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read trace {}: {e}", trace_file.display());
+                    std::process::exit(2);
+                }
+            };
+            let totals = trace_totals(&trace_text);
+            let v = audit(&stream, &totals);
+            println!("  audit vs {}: {} violation(s)", trace_file.display(), v);
+            total_violations += v;
+        }
+        println!();
+    }
+    println!(
+        "# {} metrics file(s) reported, {} violation(s)",
+        files.len(),
+        total_violations
+    );
+    if total_violations > 0 {
+        std::process::exit(1);
+    }
+}

@@ -13,7 +13,10 @@
 //! CSMA/CA+ACK). `--scale FACTOR` multiplies `--nodes` by `FACTOR` and the
 //! 200 m field side by `√FACTOR`, preserving node density while growing the
 //! field (`--nodes 200 --scale 50` is a 10,000-node run at the paper's
-//! 200-node density).
+//! 200-node density). `--metrics PATH` attaches the in-sim metrics registry
+//! and writes its snapshot stream (JSONL) to `PATH`; `--prometheus` prints
+//! the final registry in Prometheus exposition format on stdout (both may
+//! be combined).
 
 use wsn_diffusion::{DiffusionConfig, DiffusionNode, MsgKind, Role, Scheme};
 use wsn_metrics::RunRecord;
@@ -36,6 +39,8 @@ struct Args {
     svg: Option<String>,
     max_events: Option<u64>,
     scale: f64,
+    metrics: Option<String>,
+    prometheus: bool,
 }
 
 fn parse_args() -> Args {
@@ -52,6 +57,8 @@ fn parse_args() -> Args {
         svg: None,
         max_events: None,
         scale: 1.0,
+        metrics: None,
+        prometheus: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -74,6 +81,8 @@ fn parse_args() -> Args {
             "--mac" => args.mac = val().parse().expect("--mac (csma|rtscts|ideal)"),
             "--svg" => args.svg = Some(val()),
             "--max-events" => args.max_events = Some(val().parse().expect("--max-events")),
+            "--metrics" => args.metrics = Some(val()),
+            "--prometheus" => args.prometheus = true,
             "--scale" => {
                 args.scale = val().parse().expect("--scale");
                 assert!(
@@ -85,14 +94,6 @@ fn parse_args() -> Args {
         }
     }
     args
-}
-
-/// Peak resident set size in KiB, from `/proc/self/status` (`VmHWM`).
-/// `None` where procfs is absent (non-Linux).
-fn peak_rss_kb() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    line.split_whitespace().nth(1)?.parse().ok()
 }
 
 fn main() {
@@ -139,6 +140,16 @@ fn main() {
         args.scheme
     );
 
+    // Metric ids register before the engine exists (fixed-slot registry).
+    let want_metrics = args.metrics.is_some() || args.prometheus;
+    let mut registered = None;
+    let mut diff_ids = None;
+    if want_metrics {
+        let mut reg = wsn_metrics::MetricsRegistry::new();
+        let net_ids = wsn_net::NetMetricIds::register(&mut reg, spec.mac);
+        diff_ids = Some(wsn_diffusion::DiffusionMetricIds::register(&mut reg));
+        registered = Some((reg, net_ids));
+    }
     let cfg = DiffusionConfig::for_scheme(args.scheme);
     let mut net = Network::new(
         instance.field.topology.clone(),
@@ -149,7 +160,11 @@ fn main() {
         spec.seed,
         |id| {
             let (is_source, is_sink) = instance.role_of(id);
-            DiffusionNode::new(cfg.clone(), id, Role { is_source, is_sink })
+            let node = DiffusionNode::new(cfg.clone(), id, Role { is_source, is_sink });
+            match diff_ids {
+                Some(ids) => node.with_metrics(ids),
+                None => node,
+            }
         },
     );
     for e in &instance.failure_events {
@@ -158,6 +173,14 @@ fn main() {
         } else {
             net.schedule_up(e.at, e.node);
         }
+    }
+    if let Some((reg, net_ids)) = registered {
+        let out: Option<Box<dyn std::io::Write>> = args.metrics.as_ref().map(|path| {
+            let file = std::fs::File::create(path)
+                .unwrap_or_else(|e| panic!("cannot create metrics file {path}: {e}"));
+            Box::new(std::io::BufWriter::new(file)) as Box<dyn std::io::Write>
+        });
+        net.install_metrics(reg, net_ids, wsn_net::MetricsOptions::default(), out);
     }
     let wall = std::time::Instant::now();
     if let Err(err) = net.run_until_capped(instance.end, args.max_events.unwrap_or(u64::MAX)) {
@@ -255,8 +278,19 @@ fn main() {
         accounting.events_processed,
         wall.as_secs_f64()
     );
-    if let Some(kb) = peak_rss_kb() {
+    if let Some(kb) = wsn_core::peak_rss_kb() {
         println!("peak RSS: {:.1} MiB", kb as f64 / 1024.0);
+    }
+
+    if want_metrics {
+        let reg = net.finish_metrics().expect("metrics were installed");
+        if let Some(path) = &args.metrics {
+            println!("wrote {path}");
+        }
+        if args.prometheus {
+            println!("\nprometheus exposition:");
+            print!("{}", reg.render_prometheus());
+        }
     }
 
     if let Some(path) = args.svg {

@@ -21,6 +21,12 @@
 //!   a trace directory with the `trace_report` binary, check its
 //!   conservation invariants with `trace_audit`. Same seed ⇒
 //!   byte-identical trace files;
+//! * `--metrics DIR` — attach the in-sim metrics registry to every run and
+//!   write one `point<x>_field<i>_<scheme>.metrics.jsonl` snapshot stream
+//!   per job into `DIR` (created if absent); reduce a metrics directory
+//!   with the `metrics_report` binary. Same seed ⇒ byte-identical metrics
+//!   files, and enabling metrics never changes trace bytes or figure
+//!   numbers;
 //! * `--profile` — attach the wall-clock dispatch profiler to every run:
 //!   per-job totals ride the `--progress` stream and, combined with
 //!   `--trace`, land in each trace as `profile` records (render with
@@ -40,7 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use wsn_core::{run_figure_with, Figure, FigureData, FigureParams, Runner, TraceSpec};
+use wsn_core::{run_figure_with, Figure, FigureData, FigureParams, MetricsSpec, Runner, TraceSpec};
 use wsn_sim::SimDuration;
 
 /// Command-line options shared by the figure binaries.
@@ -100,6 +106,12 @@ impl HarnessOptions {
                         .unwrap_or_else(|e| panic!("cannot create trace directory {dir:?}: {e}"));
                     runner.trace = Some(TraceSpec::new(dir));
                 }
+                "--metrics" => {
+                    let dir = it.next().expect("--metrics needs a directory");
+                    std::fs::create_dir_all(&dir)
+                        .unwrap_or_else(|e| panic!("cannot create metrics directory {dir:?}: {e}"));
+                    runner.metrics = Some(MetricsSpec::new(dir));
+                }
                 "--profile" => runner.profile = true,
                 "--scale" => {
                     let v = it.next().expect("--scale needs a value");
@@ -113,7 +125,7 @@ impl HarnessOptions {
                 other => panic!(
                     "unknown argument {other:?}; usage: [--quick] [--fields N] [--duration SECS] \
                      [--seed SEED] [--no-csv] [--jobs N] [--max-events N] [--progress] \
-                     [--trace DIR] [--profile] [--scale FACTOR]"
+                     [--trace DIR] [--metrics DIR] [--profile] [--scale FACTOR]"
                 ),
             }
         }
@@ -169,6 +181,9 @@ pub fn run_and_print(figure: Figure, opts: &HarnessOptions) -> FigureData {
         opts.params.fields_per_point * 2,
         opts.runner.effective_workers(),
     );
+    if let Some(kb) = wsn_core::peak_rss_kb() {
+        println!("# peak RSS: {:.1} MiB\n", kb as f64 / 1024.0);
+    }
     data
 }
 
@@ -247,6 +262,16 @@ mod tests {
         let dir = std::env::temp_dir().join("wsn_bench_trace_flag_test");
         let o = HarnessOptions::parse(s(&["--trace", dir.to_str().expect("utf-8 temp path")]));
         let spec = o.runner.trace.expect("--trace sets a trace spec");
+        assert_eq!(spec.dir, dir);
+        assert!(dir.is_dir());
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn metrics_flag_creates_the_directory_and_wires_the_runner() {
+        let dir = std::env::temp_dir().join("wsn_bench_metrics_flag_test");
+        let o = HarnessOptions::parse(s(&["--metrics", dir.to_str().expect("utf-8 temp path")]));
+        let spec = o.runner.metrics.expect("--metrics sets a metrics spec");
         assert_eq!(spec.dir, dir);
         assert!(dir.is_dir());
         let _ = std::fs::remove_dir(&dir);

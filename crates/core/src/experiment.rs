@@ -1,8 +1,10 @@
 //! Running one experiment: a scenario, a scheme, a seed → a [`RunRecord`].
 
-use wsn_diffusion::{DiffusionConfig, DiffusionNode, Role, Scheme};
-use wsn_metrics::RunRecord;
-use wsn_net::{EventBudgetExceeded, NetConfig, Network, NodeId, TraceOptions};
+use wsn_diffusion::{DiffusionConfig, DiffusionMetricIds, DiffusionNode, Role, Scheme};
+use wsn_metrics::{MetricsRegistry, RunRecord};
+use wsn_net::{
+    EventBudgetExceeded, MetricsOptions, NetConfig, NetMetricIds, Network, NodeId, TraceOptions,
+};
 use wsn_scenario::{ScenarioInstance, ScenarioSpec};
 use wsn_sim::{RunAccounting, SharedProfile};
 use wsn_trace::{SharedSink, TraceRecord};
@@ -30,6 +32,49 @@ pub struct Experiment {
     pub diffusion: DiffusionConfig,
     /// Physical/MAC parameters.
     pub net: NetConfig,
+}
+
+/// Metrics attachment for one run: engine-side options plus an optional
+/// JSONL sink receiving the snapshot stream (`mreg` header, periodic
+/// `mdelta` lines, final `mtotal`).
+///
+/// The run registers every layer's metric block (PHY/MAC/engine via
+/// [`NetMetricIds`], protocol via [`DiffusionMetricIds`]) on one registry
+/// before engine construction, so recording anywhere in the hot path is an
+/// array index plus an integer add.
+pub struct MetricsSetup {
+    /// Snapshot cadence and flight-recorder ring size.
+    pub opts: MetricsOptions,
+    /// Snapshot-stream sink; `None` keeps the run's metrics purely
+    /// in-memory (the final registry still comes back from the run).
+    pub out: Option<Box<dyn std::io::Write>>,
+}
+
+impl MetricsSetup {
+    /// Default options, no sink — totals-in-memory only.
+    pub fn in_memory() -> Self {
+        MetricsSetup {
+            opts: MetricsOptions::default(),
+            out: None,
+        }
+    }
+
+    /// Default options, streaming snapshots into `out`.
+    pub fn to_writer(out: impl std::io::Write + 'static) -> Self {
+        MetricsSetup {
+            opts: MetricsOptions::default(),
+            out: Some(Box::new(out)),
+        }
+    }
+}
+
+impl std::fmt::Debug for MetricsSetup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsSetup")
+            .field("opts", &self.opts)
+            .field("out", &self.out.is_some())
+            .finish()
+    }
 }
 
 /// The result of one run.
@@ -135,6 +180,25 @@ impl Experiment {
         self.run_on_instrumented(&instance, max_events, trace, profile)
     }
 
+    /// [`run_budgeted_instrumented`](Experiment::run_budgeted_instrumented)
+    /// plus an optional metrics attachment; see
+    /// [`run_on_observed`](Experiment::run_on_observed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventBudgetExceeded`] if the budget runs out before the
+    /// scenario's end time.
+    pub fn run_budgeted_observed(
+        &self,
+        max_events: u64,
+        trace: Option<(SharedSink, TraceOptions)>,
+        profile: Option<SharedProfile>,
+        metrics: Option<MetricsSetup>,
+    ) -> Result<(RunOutcome, Option<MetricsRegistry>), EventBudgetExceeded> {
+        let instance = self.scenario.instantiate();
+        self.run_on_observed(&instance, max_events, trace, profile, metrics)
+    }
+
     /// [`run_on`](Experiment::run_on) under a watchdog budget; see
     /// [`run_budgeted`](Experiment::run_budgeted).
     ///
@@ -195,6 +259,47 @@ impl Experiment {
         trace: Option<(SharedSink, TraceOptions)>,
         profile: Option<SharedProfile>,
     ) -> Result<RunOutcome, EventBudgetExceeded> {
+        self.run_on_observed(instance, max_events, trace, profile, None)
+            .map(|(outcome, _)| outcome)
+    }
+
+    /// [`run_on_instrumented`](Experiment::run_on_instrumented) plus an
+    /// optional in-sim metrics attachment; returns the final registry
+    /// alongside the outcome when metrics were requested.
+    ///
+    /// When both a trace and metrics are active, the trace's snapshot
+    /// cadence drives the shared snapshot event, so enabling metrics adds no
+    /// simulator events to a traced run (the trace stays byte-identical).
+    /// Metrics are closed out *after* the outcome is harvested — the meter
+    /// close-out is idempotent alongside [`Network::finish_trace`], so
+    /// registry energy totals cover exactly the same debit stream the trace
+    /// records.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventBudgetExceeded`] if the budget runs out before the
+    /// scenario's end time. The metrics sink still receives its flight-ring
+    /// dump and final `mtotal` line on that path, so a watchdog trip leaves
+    /// a usable post-mortem artifact.
+    pub fn run_on_observed(
+        &self,
+        instance: &ScenarioInstance,
+        max_events: u64,
+        trace: Option<(SharedSink, TraceOptions)>,
+        profile: Option<SharedProfile>,
+        metrics: Option<MetricsSetup>,
+    ) -> Result<(RunOutcome, Option<MetricsRegistry>), EventBudgetExceeded> {
+        // All metric ids are registered before the engine exists: the
+        // registry's slot count is fixed from here on, which is what makes
+        // recording allocation-free.
+        let mut registered = None;
+        let mut diff_ids = None;
+        if metrics.is_some() {
+            let mut reg = MetricsRegistry::new();
+            let net_ids = NetMetricIds::register(&mut reg, self.net.mac);
+            diff_ids = Some(DiffusionMetricIds::register(&mut reg));
+            registered = Some((reg, net_ids));
+        }
         let diffusion = self.diffusion.clone();
         let mut net = Network::new(
             instance.field.topology.clone(),
@@ -202,7 +307,11 @@ impl Experiment {
             self.scenario.seed,
             |id| {
                 let (is_source, is_sink) = instance.role_of(id);
-                DiffusionNode::new(diffusion.clone(), id, Role { is_source, is_sink })
+                let node = DiffusionNode::new(diffusion.clone(), id, Role { is_source, is_sink });
+                match diff_ids {
+                    Some(ids) => node.with_metrics(ids),
+                    None => node,
+                }
             },
         );
         for e in &instance.failure_events {
@@ -219,9 +328,17 @@ impl Experiment {
         if let Some(p) = profile.clone() {
             net.set_profile(p);
         }
+        // Metrics install after the trace so that an armed trace cadence
+        // owns the shared snapshot event from its very first firing.
+        if let Some(setup) = metrics {
+            let (reg, net_ids) = registered.take().expect("metrics implies a registry");
+            net.install_metrics(reg, net_ids, setup.opts, setup.out);
+        }
         let run_result = net.run_until_capped(instance.end, max_events);
         if let Err(cause) = run_result {
-            // Flush the partial trace so a watchdog trip is diagnosable.
+            // Flush the partial artifacts so a watchdog trip is diagnosable
+            // (the engine already dumped the flight ring before erroring).
+            let _ = net.finish_metrics();
             let _ = net.finish_trace();
             return Err(cause);
         }
@@ -295,11 +412,12 @@ impl Experiment {
                 }
             }
         }
-        // Close the trace only after harvesting (see the method docs); the
-        // flush error is deliberately swallowed — the record stream already
-        // tolerates mid-run write failures, and metrics must not depend on
-        // trace I/O.
+        // Close the observability layers only after harvesting (see the
+        // method docs); the flush error is deliberately swallowed — the
+        // record stream already tolerates mid-run write failures, and
+        // metrics must not depend on trace I/O.
+        let metrics_reg = net.finish_metrics();
         let _ = net.finish_trace();
-        Ok(outcome)
+        Ok((outcome, metrics_reg))
     }
 }

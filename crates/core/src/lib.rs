@@ -41,9 +41,9 @@ mod figures;
 mod runner;
 mod sweep;
 
-pub use experiment::{Experiment, RunOutcome};
+pub use experiment::{Experiment, MetricsSetup, RunOutcome};
 pub use figures::{run_figure, run_figure_with, Figure, FigureData, FigureParams};
-pub use runner::{JobError, JobReport, RunJob, Runner, TraceSpec};
+pub use runner::{peak_rss_kb, JobError, JobReport, MetricsSpec, RunJob, Runner, TraceSpec};
 pub use sweep::{
     collect_points, compare_point, compare_point_with, field_seed, run_sweep, sweep_jobs,
     ComparisonPoint, MetricKind,

@@ -32,12 +32,21 @@ use std::time::Instant;
 
 use wsn_diffusion::{DiffusionConfig, Scheme};
 use wsn_metrics::PaperMetrics;
-use wsn_net::{EventBudgetExceeded, NetConfig, TraceOptions};
+use wsn_net::{EventBudgetExceeded, MetricsOptions, NetConfig, TraceOptions};
 use wsn_scenario::ScenarioSpec;
 use wsn_sim::{ProfileSink, RunAccounting, SimDuration};
 use wsn_trace::JsonlSink;
 
-use crate::experiment::Experiment;
+use crate::experiment::{Experiment, MetricsSetup};
+
+/// Peak resident set size in KiB, from `/proc/self/status` (`VmHWM`).
+/// `None` where procfs is absent (non-Linux). Process-wide high-water mark,
+/// not per-job: on a parallel sweep it reflects the whole runner.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
 
 /// One fully specified simulation run inside a sweep: plain data in, plain
 /// data out, safe to execute on any worker thread.
@@ -83,6 +92,12 @@ pub struct JobReport {
     pub events_per_sec: f64,
     /// Where this job's trace landed ([`None`] on untraced runs).
     pub trace_path: Option<PathBuf>,
+    /// Where this job's metrics snapshot stream landed ([`None`] without
+    /// [`Runner::metrics`]).
+    pub metrics_path: Option<PathBuf>,
+    /// Process peak RSS in KiB when the job finished (see [`peak_rss_kb`];
+    /// informational, never feeds back into results).
+    pub peak_rss_kb: Option<u64>,
     /// The job's dispatch profile ([`None`] unless [`Runner::profile`];
     /// wall-clock data — informational, never feeds back into results).
     pub profile: Option<ProfileSink>,
@@ -135,6 +150,39 @@ impl TraceSpec {
     }
 }
 
+/// Where (and how densely) the runner writes per-job metrics artifacts.
+///
+/// One `.metrics.jsonl` file per job lands in [`MetricsSpec::dir`], named
+/// `point{x}_field{f}_{scheme}.metrics.jsonl` — the suffix keeps metrics
+/// and trace artifacts distinguishable even when both share a directory.
+/// Reduce a metrics directory with the `metrics_report` binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSpec {
+    /// Directory receiving the per-job `.metrics.jsonl` files (must already
+    /// exist).
+    pub dir: PathBuf,
+    /// Engine-side cadence and flight-ring options.
+    pub opts: MetricsOptions,
+}
+
+impl MetricsSpec {
+    /// Metrics into `dir` with the default 10-second snapshot cadence —
+    /// the defaults behind the bench harness `--metrics` flag.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        MetricsSpec {
+            dir: dir.into(),
+            opts: MetricsOptions::default(),
+        }
+    }
+
+    /// The metrics-file path for one job's coordinates.
+    pub fn job_path(&self, point_x: f64, field_index: usize, scheme: Scheme) -> PathBuf {
+        self.dir.join(format!(
+            "point{point_x}_field{field_index}_{scheme}.metrics.jsonl"
+        ))
+    }
+}
+
 /// A job that tripped the watchdog, identified by its sweep coordinates.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobError {
@@ -180,6 +228,9 @@ pub struct Runner {
     /// Write one `.jsonl` trace per job; `None` (the default) runs
     /// untraced — the zero-overhead path.
     pub trace: Option<TraceSpec>,
+    /// Write one `.metrics.jsonl` snapshot stream per job; `None` (the
+    /// default) runs without in-sim metrics.
+    pub metrics: Option<MetricsSpec>,
     /// Attach a wall-clock dispatch profiler to every job. The profile
     /// reaches [`JobReport::profile`], the progress stream, and — when
     /// tracing too — the trace's `profile` records. Off by default: profile
@@ -196,6 +247,7 @@ impl Runner {
             max_events: None,
             progress: false,
             trace: None,
+            metrics: None,
             profile: false,
         }
     }
@@ -262,19 +314,40 @@ impl Runner {
         let profile = self
             .profile
             .then(|| wsn_sim::shared_profile(ProfileSink::new()));
-        let result = exp.run_budgeted_instrumented(budget, trace, profile.clone());
+        let metrics_path = self
+            .metrics
+            .as_ref()
+            .map(|spec| spec.job_path(job.point_x, job.field_index, job.scheme));
+        let metrics = self.metrics.as_ref().map(|spec| {
+            let path = metrics_path.as_ref().expect("metrics spec implies a path");
+            let file = std::fs::File::create(path)
+                .unwrap_or_else(|e| panic!("cannot create metrics file {}: {e}", path.display()));
+            MetricsSetup {
+                opts: spec.opts,
+                out: Some(Box::new(std::io::BufWriter::new(file))),
+            }
+        });
+        let result = exp.run_budgeted_observed(budget, trace, profile.clone(), metrics);
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
         // The handle never escapes the job; pull the data back out of it.
         let profile = profile.map(|p| p.borrow().clone());
-        // Progress lines carry the artifact path so a consumer tailing the
+        let peak_rss = peak_rss_kb();
+        // Progress lines carry the artifact paths so a consumer tailing the
         // stream can go straight from a finished (or failed) job to its
-        // trace without re-deriving the naming scheme.
+        // trace or metrics without re-deriving the naming scheme.
         let trace_json = trace_path
             .as_ref()
             .map(|p| format!(",\"trace\":{}", json_string(&p.display().to_string())))
             .unwrap_or_default();
+        let metrics_json = metrics_path
+            .as_ref()
+            .map(|p| format!(",\"metrics\":{}", json_string(&p.display().to_string())))
+            .unwrap_or_default();
+        let rss_json = peak_rss
+            .map(|kb| format!(",\"peak_rss_kb\":{kb}"))
+            .unwrap_or_default();
         match result {
-            Ok(outcome) => {
+            Ok((outcome, _registry)) => {
                 let events = outcome.accounting.events_processed;
                 let report = JobReport {
                     metrics: outcome.record.metrics(),
@@ -282,6 +355,8 @@ impl Runner {
                     wall_ms,
                     events_per_sec: events_per_sec(events, wall_ms),
                     trace_path,
+                    metrics_path,
+                    peak_rss_kb: peak_rss,
                     profile,
                     field_retries: outcome.field_retries,
                 };
@@ -301,7 +376,7 @@ impl Runner {
                     eprintln!(
                         "{{\"job\":\"done\",\"point\":{},\"field\":{},\"scheme\":\"{}\",\
                          \"events\":{},\"sim_s\":{:.1},\"wall_ms\":{:.1},\"events_per_sec\":{:.0},\
-                         \"field_retries\":{}{}{}}}",
+                         \"field_retries\":{}{}{}{}{}}}",
                         job.point_x,
                         job.field_index,
                         job.scheme,
@@ -311,6 +386,8 @@ impl Runner {
                         report.events_per_sec,
                         report.field_retries,
                         trace_json,
+                        metrics_json,
+                        rss_json,
                         profile_json,
                     );
                 }
@@ -320,7 +397,7 @@ impl Runner {
                 if self.progress {
                     eprintln!(
                         "{{\"job\":\"error\",\"point\":{},\"field\":{},\"scheme\":\"{}\",\
-                         \"events\":{},\"sim_s\":{:.1},\"wall_ms\":{:.1},\"error\":\"budget\"{}}}",
+                         \"events\":{},\"sim_s\":{:.1},\"wall_ms\":{:.1},\"error\":\"budget\"{}{}{}}}",
                         job.point_x,
                         job.field_index,
                         job.scheme,
@@ -328,6 +405,8 @@ impl Runner {
                         cause.sim_time.as_secs_f64(),
                         wall_ms,
                         trace_json,
+                        metrics_json,
+                        rss_json,
                     );
                 }
                 Err(JobError {

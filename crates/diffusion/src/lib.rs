@@ -59,6 +59,7 @@ mod cache;
 mod config;
 mod flooding;
 mod gradient;
+mod metrics;
 mod msg;
 mod naming;
 mod node;
@@ -70,6 +71,7 @@ pub use cache::{ExplCache, ExplEntry, UpstreamKind};
 pub use config::{AggregationFn, DiffusionConfig, Scheme};
 pub use flooding::{FloodTimer, FloodingConfig, FloodingNode};
 pub use gradient::GradientTable;
+pub use metrics::DiffusionMetricIds;
 pub use msg::{DiffMsg, EventItem, MsgId, MsgKind, ReinforceKind};
 pub use naming::{AttrValue, InterestSpec, Predicate, SensorDescription};
 pub use node::{DiffTimer, DiffusionNode, Role};

@@ -94,6 +94,9 @@ impl DiffusionNode {
         let first = self.expl.record_exploratory(id, item, from, energy, now);
         if !first {
             // Duplicate exploratory copy: the cache suppresses the re-flood.
+            self.metric(ctx, |ids, reg| {
+                reg.inc(ids.item_drops[wsn_net::drop_reason_index(DropReason::CacheSuppressed)]);
+            });
             if ctx.trace_enabled() {
                 ctx.trace(TraceRecord::ItemDrop {
                     t_ns: now.as_nanos(),

@@ -42,6 +42,9 @@ impl DiffusionNode {
     ) {
         let bytes = msg.wire_bytes(&self.cfg);
         self.counters.count_sent(msg.kind());
+        if matches!(msg, DiffMsg::Interest { .. }) {
+            self.metric(ctx, |ids, reg| reg.inc(ids.interests_sent));
+        }
         let lineage = if ctx.trace_enabled() {
             Self::msg_lineage(&msg).map(|wire| ctx.intern_lineage(&wire))
         } else {
@@ -185,6 +188,7 @@ impl DiffusionNode {
         let Some(out) = self.buffer.flush() else {
             return;
         };
+        self.metric(ctx, |ids, reg| reg.observe(ids.agg_fanin, inputs as u64));
         if ctx.trace_enabled() {
             ctx.trace(TraceRecord::AggMerge {
                 t_ns: ctx.now().as_nanos(),
@@ -199,6 +203,12 @@ impl DiffusionNode {
         let downstream = self.gradients.data_neighbors(now);
         if downstream.is_empty() {
             self.counters.items_dropped_no_gradient += out.items.len() as u64;
+            self.metric(ctx, |ids, reg| {
+                reg.add(
+                    ids.item_drops[wsn_net::drop_reason_index(DropReason::NoRoute)],
+                    out.items.len() as u64,
+                );
+            });
             if ctx.trace_enabled() {
                 for item in &out.items {
                     ctx.trace(TraceRecord::ItemDrop {
@@ -255,6 +265,11 @@ impl DiffusionNode {
                     self.sink.record_duplicate();
                 }
                 // The copy goes no further here: the dedup cache absorbed it.
+                self.metric(ctx, |ids, reg| {
+                    reg.inc(
+                        ids.item_drops[wsn_net::drop_reason_index(DropReason::CacheSuppressed)],
+                    );
+                });
                 if ctx.trace_enabled() {
                     ctx.trace(TraceRecord::ItemDrop {
                         t_ns: now.as_nanos(),

@@ -25,13 +25,14 @@
 
 use std::collections::{HashMap, HashSet};
 
-use wsn_net::{NodeId, TimerHandle};
+use wsn_net::{Ctx, NodeId, TimerHandle};
 use wsn_sim::SimTime;
 
 use crate::aggregate::AggregationBuffer;
 use crate::cache::ExplCache;
 use crate::config::DiffusionConfig;
 use crate::gradient::GradientTable;
+use crate::metrics::DiffusionMetricIds;
 use crate::msg::{DiffMsg, MsgId};
 use crate::stats::{ProtoCounters, SinkStats};
 use crate::truncate::TruncationLog;
@@ -143,6 +144,11 @@ pub struct DiffusionNode {
     pub events_generated: u64,
     /// Per-kind message counters.
     pub counters: ProtoCounters,
+    /// Registry ids for the diffusion metric block, when the run has metrics
+    /// installed (see [`DiffusionMetricIds::register`]). Recording goes
+    /// through [`Ctx::metrics`](wsn_net::Ctx::metrics); without this the
+    /// node never touches the registry.
+    metrics: Option<DiffusionMetricIds>,
 }
 
 impl DiffusionNode {
@@ -170,7 +176,17 @@ impl DiffusionNode {
             sink: SinkStats::default(),
             events_generated: 0,
             counters: ProtoCounters::default(),
+            metrics: None,
         }
+    }
+
+    /// Attaches the diffusion metric ids so this node records against the
+    /// run's registry. The ids must come from the same registry later passed
+    /// to [`Network::install_metrics`](wsn_net::Network::install_metrics).
+    #[must_use]
+    pub fn with_metrics(mut self, ids: DiffusionMetricIds) -> Self {
+        self.metrics = Some(ids);
+        self
     }
 
     /// This node's role.
@@ -186,6 +202,24 @@ impl DiffusionNode {
     /// The gradient table (inspection/testing).
     pub fn gradients(&self) -> &GradientTable {
         &self.gradients
+    }
+
+    /// Runs `f` against the run's registry — a no-op unless this node holds
+    /// ids *and* the engine has metrics installed. Call sites sit beside the
+    /// unconditional state change they measure, never inside a
+    /// `trace_enabled` gate, so registry totals reconcile exactly with
+    /// trace-derived totals (the `metrics_audit` invariant).
+    #[inline]
+    pub(super) fn metric(
+        &self,
+        ctx: &mut Ctx<'_, DiffMsg, DiffTimer>,
+        f: impl FnOnce(&DiffusionMetricIds, &mut wsn_metrics::MetricsRegistry),
+    ) {
+        if let Some(ids) = self.metrics {
+            if let Some(reg) = ctx.metrics() {
+                f(&ids, reg);
+            }
+        }
     }
 }
 

@@ -110,6 +110,15 @@ impl Protocol for DiffusionNode {
     ) {
         // An abandoned data frame loses its items on this path (neighbors
         // that got them via another branch still forward their copies).
+        if let DiffMsg::Data { items, .. } = msg {
+            let n = items.len() as u64;
+            self.metric(ctx, |ids, reg| {
+                reg.add(
+                    ids.item_drops[wsn_net::drop_reason_index(DropReason::RetryLimit)],
+                    n,
+                );
+            });
+        }
         if ctx.trace_enabled() {
             if let DiffMsg::Data { items, .. } = msg {
                 let t_ns = ctx.now().as_nanos();
@@ -138,8 +147,8 @@ impl Protocol for DiffusionNode {
         // A failed *data* transmission breaks the tree below us — degrade
         // the gradient so we stop burning retries into the void; the next
         // refresh, reinforcement, repair, or exploratory round rebuilds it.
-        if matches!(msg, DiffMsg::Data { .. }) {
-            self.gradients.degrade(to);
+        if matches!(msg, DiffMsg::Data { .. }) && self.gradients.degrade(to) {
+            self.metric(ctx, |ids, reg| reg.inc(ids.tree_edges_dropped));
         }
     }
 

@@ -24,6 +24,12 @@ impl DiffusionNode {
         let new_edge = !self.gradients.has_data(from, now);
         self.gradients
             .reinforce(from, now + self.cfg.data_gradient_timeout);
+        self.metric(ctx, |ids, reg| {
+            reg.inc(ids.reinforcements);
+            if new_edge {
+                reg.inc(ids.tree_edges_added);
+            }
+        });
         if ctx.trace_enabled() {
             let t_ns = now.as_nanos();
             ctx.trace(wsn_trace::TraceRecord::GradientReinforce {
@@ -146,6 +152,9 @@ impl DiffusionNode {
     ) {
         let now = ctx.now();
         let had_data = self.gradients.degrade(from);
+        if had_data {
+            self.metric(ctx, |ids, reg| reg.inc(ids.tree_edges_dropped));
+        }
         if had_data && !self.gradients.on_tree(now) {
             // All gradients are exploratory now: truncate our own upstream
             // data senders (the cascade of §4.3).

@@ -1,0 +1,99 @@
+//! Flight recorder: a fixed ring of the last N encoded snapshot-delta
+//! lines, dumped on watchdog trips (`EventBudgetExceeded`) or panics to
+//! turn an opaque kill into a post-mortem.
+//!
+//! The ring reuses its `String` slots (`clear` + `push_str`), so after the
+//! per-slot capacities reach their high-water mark recording is
+//! allocation-free.
+
+/// Fixed-size ring of recent snapshot lines.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    ring: Vec<String>,
+    /// Slot the next record lands in.
+    next: usize,
+    /// Number of live entries (saturates at the capacity).
+    len: usize,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` lines (capacity ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "flight recorder needs at least one slot");
+        Self {
+            ring: (0..capacity).map(|_| String::new()).collect(),
+            next: 0,
+            len: 0,
+        }
+    }
+
+    /// Records one line, overwriting the oldest once the ring is full.
+    pub fn record(&mut self, line: &str) {
+        let slot = &mut self.ring[self.next];
+        slot.clear();
+        slot.push_str(line);
+        self.next = (self.next + 1) % self.ring.len();
+        self.len = (self.len + 1).min(self.ring.len());
+    }
+
+    /// The recorded lines, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        let cap = self.ring.len();
+        let start = (self.next + cap - self.len) % cap;
+        (0..self.len).map(move |i| self.ring[(start + i) % cap].as_str())
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The ring size.
+    pub fn capacity(&self) -> usize {
+        self.ring.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_the_last_n_in_order() {
+        let mut r = FlightRecorder::new(3);
+        assert!(r.is_empty());
+        r.record("a");
+        r.record("b");
+        assert_eq!(r.iter().collect::<Vec<_>>(), ["a", "b"]);
+        r.record("c");
+        r.record("d"); // evicts "a"
+        r.record("e"); // evicts "b"
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.iter().collect::<Vec<_>>(), ["c", "d", "e"]);
+    }
+
+    #[test]
+    fn single_slot_ring() {
+        let mut r = FlightRecorder::new(1);
+        r.record("x");
+        r.record("y");
+        assert_eq!(r.iter().collect::<Vec<_>>(), ["y"]);
+    }
+
+    #[test]
+    fn slot_capacity_is_reused() {
+        let mut r = FlightRecorder::new(2);
+        let long = "z".repeat(256);
+        r.record(&long);
+        r.record(&long);
+        r.record("short");
+        // The overwritten slot keeps its allocation (capacity high-water).
+        assert!(r.ring.iter().any(|s| s.capacity() >= 256));
+        assert_eq!(r.iter().last(), Some("short"));
+    }
+}

@@ -6,6 +6,13 @@
 //! Cross-field averaging uses [`Summary`]; figures render through
 //! [`FigureTable`].
 //!
+//! The crate also hosts the in-sim observability substrate: a fixed-slot,
+//! zero-allocation-in-steady-state [`MetricsRegistry`] of counters, gauges
+//! and [`Log2Histogram`]s, the [`SnapshotEncoder`] JSONL time-series codec
+//! ([`MetricsLine`] parses it back), and the [`FlightRecorder`] crash ring.
+//! Everything is std-only and float-free on the hot path; see DESIGN.md
+//! §17 for the layout and naming convention.
+//!
 //! # Examples
 //!
 //! ```
@@ -34,10 +41,31 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod flight;
+mod hist;
 mod record;
+mod registry;
+mod snapshot;
 mod stats;
 mod table;
 
+pub use flight::FlightRecorder;
+pub use hist::{Log2Histogram, HIST_BUCKETS};
 pub use record::{PaperMetrics, RunRecord};
+pub use registry::{CounterId, GaugeId, HistId, MetricDesc, MetricType, MetricsRegistry};
+pub use snapshot::{MetricsLine, SnapshotEncoder, METRICS_WIRE_VERSION};
 pub use stats::Summary;
 pub use table::{FigureRow, FigureTable};
+
+/// Joules → integer nanojoules, the unit the registry counts energy in.
+///
+/// Used at the meter-debit site *and* when re-deriving totals from parsed
+/// trace floats: trace floats are written with shortest-round-trip
+/// formatting, so `str::parse::<f64>()` returns the exact debited value
+/// and the per-debit rounding here reproduces the registry's integer sum
+/// bit-for-bit — which is what makes the zero-tolerance energy audit
+/// possible.
+#[inline]
+pub fn joules_to_nj(joules: f64) -> u64 {
+    (joules * 1e9).round() as u64
+}

@@ -1,0 +1,151 @@
+//! Property tests for the metrics substrate: log2-histogram bucket
+//! placement, top-bucket saturation, merge associativity, and the
+//! snapshot-delta JSONL codec (a reader that applies every parsed delta
+//! reconstructs the registry's true totals, and `mtotal` round-trips).
+
+use proptest::prelude::*;
+use wsn_metrics::{Log2Histogram, MetricsLine, MetricsRegistry, SnapshotEncoder, HIST_BUCKETS};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bucket_contains_its_value(v in any::<u64>()) {
+        let k = Log2Histogram::bucket_index(v);
+        let (lo, hi) = Log2Histogram::bucket_bounds(k);
+        prop_assert!(v >= lo, "{v} below bucket {k} lower bound {lo}");
+        if let Some(hi) = hi {
+            prop_assert!(v <= hi, "{v} above bucket {k} upper bound {hi}");
+        }
+    }
+
+    #[test]
+    fn top_bucket_saturates(v in (1u64 << 46)..=u64::MAX) {
+        prop_assert_eq!(Log2Histogram::bucket_index(v), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn merge_is_associative(
+        xs in prop::collection::vec(any::<u64>(), 0..32),
+        ys in prop::collection::vec(any::<u64>(), 0..32),
+        zs in prop::collection::vec(any::<u64>(), 0..32),
+    ) {
+        let h = |vals: &[u64]| {
+            let mut h = Log2Histogram::new();
+            for &v in vals {
+                h.observe(v);
+            }
+            h
+        };
+        // (x ⊕ y) ⊕ z
+        let mut left = h(&xs);
+        left.merge(&h(&ys));
+        left.merge(&h(&zs));
+        // x ⊕ (y ⊕ z)
+        let mut right_tail = h(&ys);
+        right_tail.merge(&h(&zs));
+        let mut right = h(&xs);
+        right.merge(&right_tail);
+        prop_assert_eq!(&left, &right);
+        // And both equal observing everything in one histogram.
+        let mut all = h(&xs);
+        for &v in ys.iter().chain(zs.iter()) {
+            all.observe(v);
+        }
+        prop_assert_eq!(&left, &all);
+    }
+
+    #[test]
+    fn snapshot_stream_reconstructs_totals(
+        // Per-round mutations: (counter adds, gauge sets, hist observes).
+        rounds in prop::collection::vec(
+            (
+                prop::collection::vec((0u32..3, 1u64..1_000), 0..8),
+                prop::collection::vec((0u32..2, 0u64..1_000), 0..4),
+                prop::collection::vec((0u32..2, any::<u64>()), 0..8),
+            ),
+            1..6,
+        ),
+    ) {
+        let mut reg = MetricsRegistry::new();
+        let counters = [
+            reg.counter("a.c0"),
+            reg.counter("a.c1{kind=x}"),
+            reg.counter("b.c2"),
+        ];
+        let gauges = [reg.gauge("a.g0"), reg.gauge("b.g1")];
+        let hists = [reg.histogram("a.h0"), reg.histogram("b.h1")];
+
+        let mut enc = SnapshotEncoder::new(&reg);
+        let mut stream = String::new();
+        SnapshotEncoder::write_header(&reg, &mut stream);
+        for (t, (adds, sets, obs)) in rounds.iter().enumerate() {
+            for &(i, by) in adds {
+                reg.add(counters[i as usize], by);
+            }
+            for &(i, v) in sets {
+                reg.set_gauge(gauges[i as usize], v);
+            }
+            for &(i, v) in obs {
+                reg.observe(hists[i as usize], v);
+            }
+            enc.encode_delta(&reg, t as u64, &mut stream);
+        }
+        SnapshotEncoder::write_totals(&reg, rounds.len() as u64, &mut stream);
+
+        // A reader that folds every delta must land on the true totals.
+        let mut rc = [0u64; 3];
+        let mut rg = [0u64; 2];
+        let mut rh = vec![[0u64; HIST_BUCKETS]; 2];
+        let mut saw_header = false;
+        let mut saw_total = false;
+        for line in stream.lines() {
+            match MetricsLine::parse(line).expect("parsable line") {
+                MetricsLine::Header { metrics, .. } => {
+                    saw_header = true;
+                    prop_assert_eq!(metrics.len(), 7);
+                }
+                MetricsLine::Delta { counters, gauges, hist, .. } => {
+                    for (i, d) in counters {
+                        rc[i as usize] += d;
+                    }
+                    for (i, v) in gauges {
+                        rg[i as usize] = v;
+                    }
+                    for (i, b, d) in hist {
+                        rh[i as usize][b as usize] += d;
+                    }
+                }
+                MetricsLine::Total { counters: tc, gauges: tg, hist: th, hist_stats, .. } => {
+                    saw_total = true;
+                    for (i, v) in tc {
+                        prop_assert_eq!(rc[i as usize], v, "counter {} mismatch", i);
+                    }
+                    for (i, v) in tg {
+                        prop_assert_eq!(rg[i as usize], v, "gauge {} mismatch", i);
+                    }
+                    let mut th_dense = vec![[0u64; HIST_BUCKETS]; 2];
+                    for (i, b, n) in th {
+                        th_dense[i as usize][b as usize] = n;
+                    }
+                    prop_assert_eq!(&rh, &th_dense, "hist buckets mismatch");
+                    for (i, count, sum) in hist_stats {
+                        prop_assert_eq!(count, rh[i as usize].iter().sum::<u64>());
+                        prop_assert_eq!(sum, reg.hist(hists[i as usize]).sum());
+                    }
+                }
+            }
+        }
+        prop_assert!(saw_header && saw_total);
+        // The folded state equals the live registry.
+        for (i, &id) in counters.iter().enumerate() {
+            prop_assert_eq!(rc[i], reg.counter_value(id));
+        }
+        for (i, &id) in gauges.iter().enumerate() {
+            prop_assert_eq!(rg[i], reg.gauge_value(id));
+        }
+        for (i, &id) in hists.iter().enumerate() {
+            prop_assert_eq!(&rh[i], reg.hist(id).buckets());
+        }
+    }
+}

@@ -107,7 +107,7 @@ pub struct EnergyMeter {
     joules: [f64; 4],
 }
 
-fn state_index(state: RadioState) -> usize {
+pub(crate) fn state_index(state: RadioState) -> usize {
     match state {
         RadioState::Off => 0,
         RadioState::Idle => 1,

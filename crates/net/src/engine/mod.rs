@@ -103,6 +103,14 @@ pub struct Network<P: Protocol> {
     /// dispatch fills and drains — its vectors keep their high-water
     /// capacity, so steady-state transmissions allocate nothing.
     outcome_scratch: crate::phy::TxOutcome<P::Msg>,
+    /// The run's event budget (from the last `run_until_capped`), for the
+    /// `engine.watchdog_headroom` gauge. `None` for uncapped runs.
+    budget: Option<u64>,
+    /// Whether an `Ev::Snapshot` is currently in flight. The trace and
+    /// metrics layers share one snapshot event stream (the trace cadence
+    /// wins while a traced cadence is armed), and this guard keeps a second
+    /// installer from arming a duplicate stream.
+    snapshot_armed: bool,
 }
 
 impl<P: Protocol> Network<P> {
@@ -128,6 +136,8 @@ impl<P: Protocol> Network<P> {
             profile_cells: [ProfileEntry::default(); EV_LABELS.len()],
             profile_sampled: [0; EV_LABELS.len()],
             outcome_scratch: crate::phy::TxOutcome::default(),
+            budget: None,
+            snapshot_armed: false,
         }
     }
 
@@ -253,6 +263,7 @@ impl<P: Protocol> Network<P> {
         deadline: SimTime,
         max_events: u64,
     ) -> Result<(), EventBudgetExceeded> {
+        self.budget = (max_events != u64::MAX).then_some(max_events);
         if !self.started {
             self.started = true;
             for i in 0..self.protocols.len() {
@@ -274,6 +285,11 @@ impl<P: Protocol> Network<P> {
             if self.core.sim.events_processed() >= max_events {
                 match self.core.sim.peek_time() {
                     Some(t) if t <= deadline => {
+                        // Post-mortem: the last N metric snapshots show what
+                        // the run was doing when the watchdog tripped.
+                        if let Some(m) = self.core.phy.metrics.as_deref_mut() {
+                            m.dump_flight("event budget exceeded");
+                        }
                         return Err(EventBudgetExceeded {
                             budget: max_events,
                             events_processed: self.core.sim.events_processed(),
@@ -400,14 +416,29 @@ impl<P: Protocol> Network<P> {
             }
             Ev::Snapshot => {
                 let now = self.core.sim.now();
-                self.snapshot_all(now);
-                // Re-arm only while a sink is still installed; finish_trace
-                // lets any residual Snapshot event drain as a no-op.
-                match self.core.trace_opts.snapshot_every {
-                    Some(every) if self.core.trace_enabled() => {
+                // Trace and metrics share one snapshot stream. Per-node
+                // trace records fire only when the *trace* asked for a
+                // cadence — a metrics-armed firing must not add records to
+                // the trace (metrics-on runs stay byte-identical).
+                let trace_cadence =
+                    self.core.trace_enabled() && self.core.trace_opts.snapshot_every.is_some();
+                if trace_cadence {
+                    self.snapshot_all(now);
+                }
+                self.metrics_sample(now);
+                // Re-arm while either consumer is still installed (the
+                // trace cadence wins while armed); finish_trace /
+                // finish_metrics let any residual event drain as a no-op.
+                let next = if trace_cadence {
+                    self.core.trace_opts.snapshot_every
+                } else {
+                    self.core.phy.metrics.as_ref().and_then(|m| m.every)
+                };
+                match next {
+                    Some(every) => {
                         self.core.sim.schedule_after(every, Ev::Snapshot);
                     }
-                    _ => {}
+                    None => self.snapshot_armed = false,
                 }
             }
         }

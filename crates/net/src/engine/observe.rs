@@ -9,6 +9,7 @@
 use wsn_sim::{EventId, ProfileEntry, SharedProfile, SimTime};
 use wsn_trace::{SharedSink, TraceRecord};
 
+use crate::metrics::MetricsState;
 use crate::protocol::Protocol;
 use crate::trace::TraceOptions;
 
@@ -55,7 +56,91 @@ impl<P: Protocol> Network<P> {
             });
         }
         if let Some(every) = opts.snapshot_every {
-            self.core.sim.schedule_after(every, Ev::Snapshot);
+            // Metrics may already have a snapshot stream in flight; the
+            // shared `Ev::Snapshot` re-arms at the trace cadence from its
+            // next firing, so no second stream is started.
+            if !self.snapshot_armed {
+                self.snapshot_armed = true;
+                self.core.sim.schedule_after(every, Ev::Snapshot);
+            }
+        }
+    }
+
+    /// Installs an in-sim metrics registry: the engine samples a delta
+    /// snapshot at the shared `Ev::Snapshot` cadence (the trace cadence
+    /// wins while a traced cadence is armed, so enabling metrics adds no
+    /// simulator events to a traced run), feeds the flight-recorder ring,
+    /// and streams JSONL to `out` if given.
+    ///
+    /// The registry must already hold every layer's registrations —
+    /// [`NetMetricIds::register`](crate::NetMetricIds::register) for the
+    /// engine's own series, plus any protocol blocks — because the encoder
+    /// sizes its baselines here and recording never grows the registry.
+    ///
+    /// Call before the first [`run_until`](Network::run_until) so totals
+    /// cover the whole run.
+    pub fn install_metrics(
+        &mut self,
+        reg: wsn_metrics::MetricsRegistry,
+        ids: crate::NetMetricIds,
+        opts: crate::MetricsOptions,
+        out: Option<Box<dyn std::io::Write>>,
+    ) {
+        let state = MetricsState::new(reg, ids, opts, out);
+        let every = state.every;
+        self.core.phy.metrics = Some(Box::new(state));
+        if let Some(every) = every {
+            if !self.snapshot_armed {
+                self.snapshot_armed = true;
+                self.core.sim.schedule_after(every, Ev::Snapshot);
+            }
+        }
+    }
+
+    /// Closes out installed metrics: debits every node's partial energy
+    /// interval (idempotent alongside [`finish_trace`](Network::finish_trace)
+    /// — a redundant same-instant transition debits zero joules), takes a
+    /// final delta sample, writes the absolute `mtotal` line, flushes the
+    /// sink, and uninstalls the state. Returns the final registry for
+    /// in-process inspection (reports, audits); `None` when no metrics were
+    /// installed.
+    pub fn finish_metrics(&mut self) -> Option<wsn_metrics::MetricsRegistry> {
+        self.core.phy.metrics.as_ref()?;
+        let now = self.core.sim.now();
+        for i in 0..self.core.phy.len() {
+            self.core.phy.update_meter(i, now);
+        }
+        self.metrics_sample(now);
+        let mut state = self.core.phy.metrics.take()?;
+        state.finish(now.as_nanos());
+        Some(std::mem::take(&mut state.reg))
+    }
+
+    /// The live metrics registry, if installed (Prometheus exposition for a
+    /// serving daemon, mid-run assertions in tests).
+    pub fn metrics_registry(&self) -> Option<&wsn_metrics::MetricsRegistry> {
+        self.core.phy.metrics.as_deref().map(|m| &m.reg)
+    }
+
+    /// Records the engine gauges and encodes one metrics delta snapshot
+    /// (into the flight ring, and to the sink if one is installed). A no-op
+    /// without installed metrics.
+    pub(super) fn metrics_sample(&mut self, now: SimTime) {
+        let pending = self.core.sim.pending() as u64;
+        let processed = self.core.sim.events_processed();
+        let budget = self.budget;
+        if let Some(m) = self.core.phy.metrics.as_deref_mut() {
+            // Sync the dispatch counter from the simulator's own count —
+            // dispatch() deliberately does no metrics work per event.
+            let counted = m.reg.counter_value(m.ids.events_dispatched);
+            m.reg
+                .add(m.ids.events_dispatched, processed.saturating_sub(counted));
+            m.reg.set_gauge(m.ids.queue_depth_engine, pending);
+            if let Some(b) = budget {
+                m.reg
+                    .set_gauge(m.ids.watchdog_headroom, b.saturating_sub(processed));
+            }
+            m.sample(now.as_nanos());
         }
     }
 
@@ -109,6 +194,10 @@ impl<P: Protocol> Network<P> {
     }
 
     pub(super) fn dispatch(&mut self, id: EventId, ev: Ev<P::Timer>) {
+        // `engine.events_dispatched` is NOT bumped here: the simulator
+        // already counts dispatches, so the counter is synced from
+        // `events_processed()` at each snapshot (`metrics_sample`) instead
+        // of paying a branch + pointer chase on every event.
         // One branch and zero clock reads when profiling is off. When it is
         // on, every dispatch pays one array add for its exact per-label
         // count, but only one in PROFILE_SAMPLE opens a wall-clock span.
@@ -122,6 +211,13 @@ impl<P: Protocol> Network<P> {
             self.profile_cells[ix].count += 1;
             if let Some((prev, t0)) = self.profile_pending.take() {
                 let ns = t0.elapsed().as_nanos() as u64;
+                // The profiler's sampled spans double as the
+                // `engine.dispatch_ns` histogram — populated only while
+                // profiling is armed, so unprofiled metrics stay
+                // byte-stable (span times are wall-clock).
+                if let Some(m) = self.core.phy.metrics.as_deref_mut() {
+                    m.reg.observe(m.ids.dispatch_ns, ns);
+                }
                 self.profile_sampled[prev] += 1;
                 let e = &mut self.profile_cells[prev];
                 e.total_ns += ns;
@@ -145,6 +241,9 @@ impl<P: Protocol> Network<P> {
     pub(super) fn profile_close(&mut self) {
         if let Some((ix, t0)) = self.profile_pending.take() {
             let ns = t0.elapsed().as_nanos() as u64;
+            if let Some(m) = self.core.phy.metrics.as_deref_mut() {
+                m.reg.observe(m.ids.dispatch_ns, ns);
+            }
             self.profile_sampled[ix] += 1;
             let e = &mut self.profile_cells[ix];
             e.total_ns += ns;

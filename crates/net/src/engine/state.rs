@@ -143,6 +143,10 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> EngineCore<M, T> {
         let i = node.index();
         if !self.phy.is_up(i) {
             self.phy.stats.per_node[i].dropped_down += 1;
+            if let Some(m) = self.phy.metrics.as_deref_mut() {
+                m.reg
+                    .inc(m.ids.drops[crate::metrics::drop_reason_index(DropReason::NodeDown)]);
+            }
             self.emit(TraceRecord::PacketDrop {
                 t_ns: self.sim.now().as_nanos(),
                 node: node.0,

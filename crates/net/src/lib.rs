@@ -40,6 +40,7 @@ mod energy;
 mod engine;
 mod failures;
 mod mac;
+mod metrics;
 mod node;
 mod packet;
 mod phy;
@@ -53,6 +54,7 @@ pub use config::NetConfig;
 pub use energy::{EnergyMeter, EnergyModel, RadioState};
 pub use engine::{EngineCore, EventBudgetExceeded, Network};
 pub use mac::MacKind;
+pub use metrics::{drop_reason_index, MetricsOptions, NetMetricIds};
 pub use node::NodeId;
 pub use packet::{Packet, TxId};
 pub use phy::{NetStats, NodeStats};

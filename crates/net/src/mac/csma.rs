@@ -18,6 +18,7 @@ use wsn_trace::{DropReason, TraceRecord};
 use crate::config::NetConfig;
 use crate::engine::Ev;
 use crate::mac::{Mac, MacCtx};
+use crate::metrics::drop_reason_index;
 use crate::node::NodeId;
 use crate::packet::{Packet, TxId};
 use crate::phy::{Control, Frame, TxOutcome};
@@ -116,6 +117,9 @@ impl<M: Clone + std::fmt::Debug> CsmaCa<M> {
         let retries = node.queue.front().map_or(0, |q| q.retries);
         let cw = contention_window(ctx.cfg, retries);
         let slots = node.rng.below(cw);
+        if let Some(m) = ctx.phy.metrics.as_deref_mut() {
+            m.reg.inc(m.ids.backoff_draws);
+        }
         let delay = ctx.cfg.difs + ctx.cfg.slot.saturating_mul(slots);
         let id = ctx.sim.schedule_after(
             delay,
@@ -141,9 +145,17 @@ impl<M: Clone + std::fmt::Debug> CsmaCa<M> {
         if queued.retries < ctx.cfg.retry_limit {
             queued.retries += 1;
             ctx.phy.stats.per_node[i].tx_retries += 1;
+            if let Some(m) = ctx.phy.metrics.as_deref_mut() {
+                m.reg.gauge_inc(m.ids.queue_depth);
+            }
             self.nodes[i].queue.push_front(queued);
         } else {
             ctx.phy.stats.per_node[i].tx_failed += 1;
+            if let Some(m) = ctx.phy.metrics.as_deref_mut() {
+                m.reg
+                    .inc(m.ids.drops[drop_reason_index(DropReason::RetryLimit)]);
+                m.reg.observe(m.ids.retry_hist, u64::from(queued.retries));
+            }
             ctx.phy.emit(TraceRecord::PacketDrop {
                 t_ns: ctx.sim.now().as_nanos(),
                 node: i as u32,
@@ -159,6 +171,9 @@ impl<M: Clone + std::fmt::Debug> CsmaCa<M> {
 
 impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> Mac<M, T> for CsmaCa<M> {
     fn enqueue(&mut self, ctx: &mut MacCtx<'_, M, T>, i: usize, packet: Packet<M>) {
+        if let Some(m) = ctx.phy.metrics.as_deref_mut() {
+            m.reg.gauge_inc(m.ids.queue_depth);
+        }
         self.nodes[i].queue.push_back(QueuedFrame {
             packet: Rc::new(packet),
             retries: 0,
@@ -168,19 +183,32 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> Mac<M, T> for CsmaC
 
     fn on_backoff_done(&mut self, ctx: &mut MacCtx<'_, M, T>, i: usize) {
         self.nodes[i].backoff_ev = None;
-        if !ctx.phy.is_up(i) || ctx.phy.is_transmitting(i) {
+        if !ctx.phy.is_up(i) {
+            return;
+        }
+        if ctx.phy.is_transmitting(i) {
             // An ACK may have seized the radio meanwhile; the queued frame
             // is retried when that transmission ends.
+            if let Some(m) = ctx.phy.metrics.as_deref_mut() {
+                m.reg.inc(m.ids.contention_stalls);
+            }
             return;
         }
         if ctx.phy.is_busy(i) {
             // Medium busy: persistent CSMA, re-draw the backoff.
+            if let Some(m) = ctx.phy.metrics.as_deref_mut() {
+                m.reg.inc(m.ids.busy_samples);
+                m.reg.inc(m.ids.contention_stalls);
+            }
             self.try_start(ctx, i);
             return;
         }
         let Some(queued) = self.nodes[i].queue.pop_front() else {
             return;
         };
+        if let Some(m) = ctx.phy.metrics.as_deref_mut() {
+            m.reg.gauge_sub(m.ids.queue_depth, 1);
+        }
         let me = NodeId::from_index(i);
         match queued.packet.dst {
             Some(dst) if self.rts_cts => {
@@ -283,6 +311,9 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> Mac<M, T> for CsmaC
         }
         if let Some(vi) = acked_sender {
             let a = self.nodes[vi].awaiting.take().expect("just matched");
+            if let Some(m) = ctx.phy.metrics.as_deref_mut() {
+                m.reg.observe(m.ids.retry_hist, u64::from(a.queued.retries));
+            }
             ctx.sim.cancel(a.timer);
             self.try_start(ctx, vi);
         }
@@ -389,6 +420,9 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> Mac<M, T> for CsmaC
 
     fn on_node_down(&mut self, ctx: &mut MacCtx<'_, M, T>, i: usize) {
         let node = &mut self.nodes[i];
+        if let Some(m) = ctx.phy.metrics.as_deref_mut() {
+            m.reg.gauge_sub(m.ids.queue_depth, node.queue.len() as u64);
+        }
         node.queue.clear();
         if let Some(ev) = node.backoff_ev.take() {
             ctx.sim.cancel(ev);

@@ -57,6 +57,9 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> Mac<M, T> for Ideal
     fn enqueue(&mut self, ctx: &mut MacCtx<'_, M, T>, i: usize, packet: Packet<M>) {
         let packet = Rc::new(packet);
         if ctx.phy.is_transmitting(i) {
+            if let Some(m) = ctx.phy.metrics.as_deref_mut() {
+                m.reg.gauge_inc(m.ids.queue_depth);
+            }
             self.queues[i].push_back(packet);
             return;
         }
@@ -79,6 +82,9 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> Mac<M, T> for Ideal
             return;
         }
         if let Some(packet) = self.queues[i].pop_front() {
+            if let Some(m) = ctx.phy.metrics.as_deref_mut() {
+                m.reg.gauge_sub(m.ids.queue_depth, 1);
+            }
             self.transmit(ctx, i, packet);
         }
     }
@@ -104,7 +110,11 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> Mac<M, T> for Ideal
         None // never scheduled: nothing is awaited, nothing ever fails
     }
 
-    fn on_node_down(&mut self, _ctx: &mut MacCtx<'_, M, T>, i: usize) {
+    fn on_node_down(&mut self, ctx: &mut MacCtx<'_, M, T>, i: usize) {
+        if let Some(m) = ctx.phy.metrics.as_deref_mut() {
+            m.reg
+                .gauge_sub(m.ids.queue_depth, self.queues[i].len() as u64);
+        }
         self.queues[i].clear();
     }
 }

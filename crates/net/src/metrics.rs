@@ -1,0 +1,337 @@
+//! Engine-side metrics wiring: the fixed-slot registry ids every layer
+//! records against, the snapshot/flight state, and the options block.
+//!
+//! The registry itself lives in `wsn-metrics` (std-only, float-free); this
+//! module owns the *engine's* metric set — [`NetMetricIds`] registers every
+//! PHY/MAC/engine series once, at construction, so recording anywhere in
+//! the hot path is an array index plus an integer add. Increments sit
+//! directly beside the matching trace-emission sites but are *not* gated on
+//! a trace sink, which is what lets the `metrics_audit` test reconcile
+//! registry totals against trace-derived totals with zero tolerance.
+//!
+//! [`MetricsState`] is boxed behind an `Option` on the PHY (one pointer in
+//! the struct, one branch per emission site when disabled), joining the
+//! split-borrow destructuring of the broadcast loops the same way the trace
+//! sink does. See DESIGN.md §17.
+
+use std::io::Write;
+
+use wsn_metrics::{CounterId, FlightRecorder, GaugeId, HistId, MetricsRegistry, SnapshotEncoder};
+use wsn_sim::SimDuration;
+use wsn_trace::DropReason;
+
+use crate::mac::MacKind;
+
+/// What the engine records when metrics are installed.
+///
+/// # Examples
+///
+/// ```
+/// use wsn_net::MetricsOptions;
+/// use wsn_sim::SimDuration;
+///
+/// let opts = MetricsOptions::default();
+/// assert_eq!(opts.snapshot_every, Some(SimDuration::from_secs(10)));
+/// assert_eq!(opts.flight_slots, 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsOptions {
+    /// Cadence of time-series delta snapshots. When a trace sink with its
+    /// own snapshot cadence is installed, the trace cadence wins and metrics
+    /// deltas ride the same `Ev::Snapshot` firings — so enabling metrics
+    /// adds no simulator events to a traced run. `None` records totals only.
+    pub snapshot_every: Option<SimDuration>,
+    /// Flight-recorder ring size: the last N delta lines kept for the
+    /// post-mortem dump on `EventBudgetExceeded` or panic.
+    pub flight_slots: usize,
+}
+
+impl Default for MetricsOptions {
+    fn default() -> Self {
+        MetricsOptions {
+            snapshot_every: Some(SimDuration::from_secs(10)),
+            flight_slots: 32,
+        }
+    }
+}
+
+/// Index of a [`DropReason`] in a `{reason=..}`-labeled counter array —
+/// by construction the position of the reason in [`DropReason::ALL`].
+/// Shared across layers (the PHY's `phy.drops` and diffusion's
+/// `diffusion.item_drops` index the same way) so audits can line reasons up.
+#[inline]
+pub fn drop_reason_index(reason: DropReason) -> usize {
+    match reason {
+        DropReason::Collision => 0,
+        DropReason::RetryLimit => 1,
+        DropReason::NodeDown => 2,
+        DropReason::NoRoute => 3,
+        DropReason::CacheSuppressed => 4,
+        DropReason::Budget => 5,
+    }
+}
+
+/// Dense ids for every PHY/MAC/engine metric, registered once per run.
+///
+/// Registration order is export order (JSONL header, Prometheus text), so
+/// the layout here is the wire layout: `phy.*`, then `mac.*`, then
+/// `engine.*`. Protocol layers (diffusion) register their own block after
+/// this one, before the registry is installed.
+#[derive(Debug, Clone, Copy)]
+pub struct NetMetricIds {
+    /// `phy.frames_tx{kind=..}` — indexed by [`Frame::kind_index`]
+    /// (data, ack, rts, cts).
+    pub(crate) frames_tx: [CounterId; 4],
+    /// `phy.frames_rx` — payload frames decoded and passed the logical
+    /// destination filter (one per `PacketRx` trace record).
+    pub(crate) frames_rx: CounterId,
+    /// `phy.collisions` — one per `Collision` trace record (a collision at
+    /// k hearers counts k times, plus one for the incoming frame).
+    pub(crate) collisions: CounterId,
+    /// `phy.busy_samples` — MAC carrier-sense polls that found the medium
+    /// busy.
+    pub(crate) busy_samples: CounterId,
+    /// `phy.drops{reason=..}` — indexed by [`drop_reason_index`].
+    pub(crate) drops: [CounterId; 6],
+    /// `phy.energy_nj{state=..}` — integer nanojoules debited per radio
+    /// state, indexed like the meter's buckets (off, idle, rx, tx).
+    pub(crate) energy_nj: [CounterId; 4],
+    /// `mac.backoff_draws` — contention-window draws.
+    pub(crate) backoff_draws: CounterId,
+    /// `mac.contention_stalls` — backoff expiries that found the medium
+    /// busy and had to re-contend.
+    pub(crate) contention_stalls: CounterId,
+    /// `mac.retry_hist` — retries consumed per unicast attempt, observed at
+    /// ACK success and at retry-limit abandonment.
+    pub(crate) retry_hist: HistId,
+    /// `mac.queue_depth{mac=..}` — frames queued across all nodes.
+    pub(crate) queue_depth: GaugeId,
+    /// `engine.events_dispatched` — kernel dispatches.
+    pub(crate) events_dispatched: CounterId,
+    /// `engine.queue_depth` — pending simulator events, sampled at
+    /// snapshots.
+    pub(crate) queue_depth_engine: GaugeId,
+    /// `engine.dispatch_ns` — per-dispatch wall nanoseconds, populated only
+    /// while the profiler is armed (keeps unprofiled runs byte-stable).
+    pub(crate) dispatch_ns: HistId,
+    /// `engine.watchdog_headroom` — events left before the budget watchdog
+    /// trips, sampled at snapshots.
+    pub(crate) watchdog_headroom: GaugeId,
+}
+
+impl NetMetricIds {
+    /// Registers the full PHY/MAC/engine metric set on `reg`. `mac` labels
+    /// the queue-depth gauge with the run's MAC kind.
+    pub fn register(reg: &mut MetricsRegistry, mac: MacKind) -> NetMetricIds {
+        let frames_tx = ["data", "ack", "rts", "cts"]
+            .map(|kind| reg.counter(&format!("phy.frames_tx{{kind={kind}}}")));
+        let frames_rx = reg.counter("phy.frames_rx");
+        let collisions = reg.counter("phy.collisions");
+        let busy_samples = reg.counter("phy.busy_samples");
+        let drops =
+            DropReason::ALL.map(|r| reg.counter(&format!("phy.drops{{reason={}}}", r.name())));
+        let energy_nj = ["off", "idle", "rx", "tx"]
+            .map(|state| reg.counter(&format!("phy.energy_nj{{state={state}}}")));
+        NetMetricIds {
+            frames_tx,
+            frames_rx,
+            collisions,
+            busy_samples,
+            drops,
+            energy_nj,
+            backoff_draws: reg.counter("mac.backoff_draws"),
+            contention_stalls: reg.counter("mac.contention_stalls"),
+            retry_hist: reg.histogram("mac.retry_hist"),
+            queue_depth: reg.gauge(&format!("mac.queue_depth{{mac={}}}", mac.name())),
+            events_dispatched: reg.counter("engine.events_dispatched"),
+            queue_depth_engine: reg.gauge("engine.queue_depth"),
+            dispatch_ns: reg.histogram("engine.dispatch_ns"),
+            watchdog_headroom: reg.gauge("engine.watchdog_headroom"),
+        }
+    }
+}
+
+/// Everything metrics-related the engine owns: the live registry, the layer
+/// ids, the delta encoder, the flight ring, and the (optional) JSONL sink.
+///
+/// Boxed behind `Option` on the PHY so the disabled case costs one pointer
+/// and one branch. The `line` scratch is reused across snapshots — after it
+/// reaches its high-water capacity, sampling allocates nothing.
+pub(crate) struct MetricsState {
+    pub(crate) reg: MetricsRegistry,
+    pub(crate) ids: NetMetricIds,
+    enc: SnapshotEncoder,
+    flight: FlightRecorder,
+    line: String,
+    out: Option<Box<dyn Write>>,
+    /// Metrics' own snapshot cadence (the trace cadence wins when armed).
+    pub(crate) every: Option<SimDuration>,
+    /// Set once the flight ring has been dumped, so the watchdog path and
+    /// the panic hook never double-dump.
+    dumped: bool,
+}
+
+impl std::fmt::Debug for MetricsState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsState")
+            .field("metrics", &self.reg.descs().len())
+            .field("flight", &self.flight.len())
+            .field("out", &self.out.is_some())
+            .field("every", &self.every)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MetricsState {
+    /// Builds the state around a fully registered registry and writes the
+    /// `mreg` header if a sink is given.
+    pub(crate) fn new(
+        reg: MetricsRegistry,
+        ids: NetMetricIds,
+        opts: MetricsOptions,
+        mut out: Option<Box<dyn Write>>,
+    ) -> Self {
+        let enc = SnapshotEncoder::new(&reg);
+        let mut line = String::new();
+        if let Some(sink) = out.as_mut() {
+            SnapshotEncoder::write_header(&reg, &mut line);
+            let _ = sink.write_all(line.as_bytes());
+        }
+        MetricsState {
+            enc,
+            flight: FlightRecorder::new(opts.flight_slots.max(1)),
+            line,
+            out,
+            reg,
+            ids,
+            every: opts.snapshot_every,
+            dumped: false,
+        }
+    }
+
+    /// Encodes one delta snapshot: into the flight ring, and to the sink if
+    /// one is installed. Steady-state allocation-free once the scratch and
+    /// ring slots hit their high-water capacities.
+    pub(crate) fn sample(&mut self, t_ns: u64) {
+        self.line.clear();
+        self.enc.encode_delta(&self.reg, t_ns, &mut self.line);
+        self.flight.record(&self.line);
+        if let Some(out) = &mut self.out {
+            let _ = out.write_all(self.line.as_bytes());
+        }
+    }
+
+    /// Writes the absolute `mtotal` line and flushes the sink.
+    pub(crate) fn finish(&mut self, t_ns: u64) {
+        if let Some(out) = &mut self.out {
+            self.line.clear();
+            SnapshotEncoder::write_totals(&self.reg, t_ns, &mut self.line);
+            let _ = out.write_all(self.line.as_bytes());
+            let _ = out.flush();
+        }
+    }
+
+    /// Dumps the flight ring — to the metrics sink when one is installed,
+    /// to stderr otherwise — prefixed with a reason line. Idempotent.
+    pub(crate) fn dump_flight(&mut self, reason: &str) {
+        if self.dumped || self.flight.is_empty() {
+            return;
+        }
+        self.dumped = true;
+        let n = self.flight.len();
+        match &mut self.out {
+            Some(out) => {
+                let _ = writeln!(
+                    out,
+                    "{{\"ev\":\"mflight\",\"reason\":\"{reason}\",\"lines\":{n}}}"
+                );
+                for line in self.flight.iter() {
+                    let _ = out.write_all(line.as_bytes());
+                }
+                let _ = out.flush();
+            }
+            None => {
+                let stderr = std::io::stderr();
+                let mut err = stderr.lock();
+                let _ = writeln!(
+                    err,
+                    "metrics flight recorder ({reason}): last {n} snapshots"
+                );
+                for line in self.flight.iter() {
+                    let _ = err.write_all(line.as_bytes());
+                }
+            }
+        }
+    }
+}
+
+impl Drop for MetricsState {
+    fn drop(&mut self) {
+        // A panic unwinding through the engine still gets its post-mortem.
+        if std::thread::panicking() {
+            self.dump_flight("panic");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_reason_index_matches_all_order() {
+        for (i, r) in DropReason::ALL.iter().enumerate() {
+            assert_eq!(drop_reason_index(*r), i);
+        }
+    }
+
+    #[test]
+    fn registration_is_stable_and_labeled() {
+        let mut reg = MetricsRegistry::new();
+        let ids = NetMetricIds::register(&mut reg, MacKind::RtsCts);
+        assert!(reg.find("phy.frames_tx{kind=data}").is_some());
+        assert!(reg.find("phy.drops{reason=retry_limit}").is_some());
+        assert!(reg.find("mac.queue_depth{mac=rtscts}").is_some());
+        assert!(reg.find("engine.dispatch_ns").is_some());
+        reg.inc(ids.frames_tx[0]);
+        reg.inc(ids.collisions);
+        assert_eq!(reg.counter_by_name("phy.frames_tx{kind=data}"), Some(1));
+    }
+
+    #[test]
+    fn flight_dump_goes_to_the_sink_once() {
+        // A Box<dyn Write> cannot be read back, so the sink shares a buffer.
+        let shared = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        struct SharedBuf(std::rc::Rc<std::cell::RefCell<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.borrow_mut().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut reg = MetricsRegistry::new();
+        let ids = NetMetricIds::register(&mut reg, MacKind::Csma);
+        let c = ids.collisions;
+        let mut st = MetricsState::new(
+            reg,
+            ids,
+            MetricsOptions::default(),
+            Some(Box::new(SharedBuf(std::rc::Rc::clone(&shared)))),
+        );
+        st.reg.inc(c);
+        st.sample(1_000);
+        st.dump_flight("event budget exceeded");
+        st.dump_flight("event budget exceeded"); // idempotent
+        let text = String::from_utf8(shared.borrow().clone()).unwrap();
+        assert!(text.starts_with("{\"ev\":\"mreg\""), "header first: {text}");
+        assert_eq!(
+            text.matches("\"ev\":\"mflight\"").count(),
+            1,
+            "one dump: {text}"
+        );
+        assert!(text.contains("\"reason\":\"event budget exceeded\""));
+    }
+}

@@ -43,8 +43,9 @@ use wsn_sim::{SimTime, Simulator};
 use wsn_trace::{DropReason, LineageTable, SharedSink, TraceRecord};
 
 use crate::config::NetConfig;
-use crate::energy::{EnergyMeter, RadioState};
+use crate::energy::{state_index, EnergyMeter, RadioState};
 use crate::engine::Ev;
+use crate::metrics::{drop_reason_index, MetricsState};
 use crate::node::NodeId;
 use crate::packet::{Packet, TxId};
 use crate::soa::NodeBits;
@@ -89,6 +90,17 @@ impl<M> Frame<M> {
         }
     }
 
+    /// Index into the `phy.frames_tx{kind=..}` counter array — same order
+    /// as the registration in [`NetMetricIds`](crate::NetMetricIds).
+    fn kind_index(&self) -> usize {
+        match self {
+            Frame::Payload(_) => 0,
+            Frame::Ack { .. } => 1,
+            Frame::Rts { .. } => 2,
+            Frame::Cts { .. } => 3,
+        }
+    }
+
     /// The logical destination reported in trace records (`None` for
     /// broadcast payloads).
     fn trace_dst(&self) -> Option<u32> {
@@ -123,13 +135,15 @@ fn emit_to(trace: &Option<SharedSink>, rec: TraceRecord) {
 ///
 /// A free function over the individual hot arrays (rather than a `Phy`
 /// method) so the broadcast loops can call it while holding split borrows of
-/// the sibling arrays.
+/// the sibling arrays — each array is its own argument by design.
+#[allow(clippy::too_many_arguments)]
 fn update_meter_at(
     meters: &mut [EnergyMeter],
     up: &NodeBits,
     transmitting: &[Option<TxId>],
     busy_count: &[u32],
     trace: &Option<SharedSink>,
+    metrics: &mut Option<Box<MetricsState>>,
     i: usize,
     now: SimTime,
 ) {
@@ -144,8 +158,16 @@ fn update_meter_at(
     };
     let (prev, joules) = meters[i].set_state(state, now);
     // Zero-length and zero-power intervals produce no record, so the
-    // trace stream stays proportional to real state *changes*.
+    // trace stream stays proportional to real state *changes*. The metrics
+    // debit mirrors the trace gate exactly — the zero-tolerance audit
+    // depends on both sides counting the same set of intervals.
     if joules > 0.0 {
+        if let Some(m) = metrics {
+            m.reg.add(
+                m.ids.energy_nj[state_index(prev)],
+                wsn_metrics::joules_to_nj(joules),
+            );
+        }
         emit_to(
             trace,
             TraceRecord::EnergyDebit {
@@ -319,6 +341,10 @@ pub(crate) struct Phy<M> {
     /// and trace emission resolves them back to wire strings. Empty (and
     /// untouched) on untraced runs.
     pub(crate) lineage: LineageTable,
+    /// The metrics registry and its wiring, if installed. Lives on the PHY
+    /// (like the trace sink) so the broadcast loops' split borrows reach it
+    /// as a disjoint field; `None` keeps every recording site to one branch.
+    pub(crate) metrics: Option<Box<MetricsState>>,
     /// Perfect-capture mode (the ideal MAC): receivers decode every
     /// overlapping frame, so nothing is ever corrupted and no collision is
     /// ever recorded. Carrier sense still counts hearers for the energy
@@ -339,6 +365,7 @@ impl<M: std::fmt::Debug> std::fmt::Debug for Phy<M> {
             .field("next_tx", &self.next_tx)
             .field("trace", &self.trace.is_some())
             .field("lineage", &self.lineage)
+            .field("metrics", &self.metrics.is_some())
             .field("capture", &self.capture)
             .finish_non_exhaustive()
     }
@@ -363,6 +390,7 @@ impl<M: Clone + std::fmt::Debug> Phy<M> {
             next_tx: 0,
             trace: None,
             lineage: LineageTable::new(),
+            metrics: None,
             capture,
         }
     }
@@ -449,10 +477,14 @@ impl<M: Clone + std::fmt::Debug> Phy<M> {
             stats,
             trace,
             lineage,
+            metrics,
             capture,
             ..
         } = self;
         let capture = *capture;
+        if let Some(m) = metrics {
+            m.reg.inc(m.ids.frames_tx[frame.kind_index()]);
+        }
         if trace.is_some() {
             emit_to(
                 trace,
@@ -476,6 +508,9 @@ impl<M: Clone + std::fmt::Debug> Phy<M> {
                 if !rx.corrupted {
                     rx.corrupted = true;
                     stats.collisions += 1;
+                    if let Some(m) = metrics {
+                        m.reg.inc(m.ids.collisions);
+                    }
                     emit_to(
                         trace,
                         TraceRecord::Collision {
@@ -486,7 +521,7 @@ impl<M: Clone + std::fmt::Debug> Phy<M> {
                 }
             }
         }
-        update_meter_at(meters, up, transmitting, busy_count, trace, i, now);
+        update_meter_at(meters, up, transmitting, busy_count, trace, metrics, i, now);
 
         let sender = NodeId::from_index(i);
         for &v in topo.neighbors(sender) {
@@ -511,10 +546,16 @@ impl<M: Clone + std::fmt::Debug> Phy<M> {
                         if !rx.corrupted {
                             rx.corrupted = true;
                             stats.collisions += 1;
+                            if let Some(m) = metrics {
+                                m.reg.inc(m.ids.collisions);
+                            }
                             emit_to(trace, TraceRecord::Collision { t_ns, node: v.0 });
                         }
                     }
                     stats.collisions += 1;
+                    if let Some(m) = metrics {
+                        m.reg.inc(m.ids.collisions);
+                    }
                     emit_to(trace, TraceRecord::Collision { t_ns, node: v.0 });
                 }
                 rx_list.push(RxEntry {
@@ -523,7 +564,16 @@ impl<M: Clone + std::fmt::Debug> Phy<M> {
                     corrupted,
                 });
             }
-            update_meter_at(meters, up, transmitting, busy_count, trace, vi, now);
+            update_meter_at(
+                meters,
+                up,
+                transmitting,
+                busy_count,
+                trace,
+                metrics,
+                vi,
+                now,
+            );
         }
         let duration = cfg.tx_duration(bytes);
         sim.schedule_after(duration, Ev::TxEnd { node: sender, tx });
@@ -553,12 +603,13 @@ impl<M: Clone + std::fmt::Debug> Phy<M> {
             active_rx,
             stats,
             trace,
+            metrics,
             ..
         } = self;
         debug_assert_eq!(transmitting[i], Some(tx), "TxEnd out of order");
         transmitting[i] = None;
         let frame = in_flight[i].take().expect("frame in flight");
-        update_meter_at(meters, up, transmitting, busy_count, trace, i, now);
+        update_meter_at(meters, up, transmitting, busy_count, trace, metrics, i, now);
 
         let sender = NodeId::from_index(i);
         for &v in topo.neighbors(sender) {
@@ -570,6 +621,10 @@ impl<M: Clone + std::fmt::Debug> Phy<M> {
                 let entry = rx_list.swap_remove(pos);
                 if entry.corrupted {
                     stats.per_node[vi].rx_corrupted += 1;
+                    if let Some(m) = metrics {
+                        m.reg
+                            .inc(m.ids.drops[drop_reason_index(DropReason::Collision)]);
+                    }
                     emit_to(
                         trace,
                         TraceRecord::PacketDrop {
@@ -584,6 +639,9 @@ impl<M: Clone + std::fmt::Debug> Phy<M> {
                         Frame::Payload(pkt) => {
                             stats.per_node[vi].rx_ok += 1;
                             if pkt.dst == Some(v) {
+                                if let Some(m) = metrics {
+                                    m.reg.inc(m.ids.frames_rx);
+                                }
                                 emit_to(
                                     trace,
                                     TraceRecord::PacketRx {
@@ -599,6 +657,9 @@ impl<M: Clone + std::fmt::Debug> Phy<M> {
                                 out.deliveries.push((v, Rc::clone(pkt)));
                                 out.unicast_decoded = Some(v);
                             } else if pkt.dst.is_none() {
+                                if let Some(m) = metrics {
+                                    m.reg.inc(m.ids.frames_rx);
+                                }
                                 emit_to(
                                     trace,
                                     TraceRecord::PacketRx {
@@ -630,7 +691,16 @@ impl<M: Clone + std::fmt::Debug> Phy<M> {
                     }
                 }
             }
-            update_meter_at(meters, up, transmitting, busy_count, trace, vi, now);
+            update_meter_at(
+                meters,
+                up,
+                transmitting,
+                busy_count,
+                trace,
+                metrics,
+                vi,
+                now,
+            );
         }
         let _ = frame;
     }
@@ -651,6 +721,7 @@ impl<M: Clone + std::fmt::Debug> Phy<M> {
             active_rx,
             stats,
             trace,
+            metrics,
             capture,
             ..
         } = self;
@@ -665,6 +736,9 @@ impl<M: Clone + std::fmt::Debug> Phy<M> {
                 if rx.tx == tx && !rx.corrupted {
                     rx.corrupted = true;
                     stats.collisions += 1;
+                    if let Some(m) = metrics {
+                        m.reg.inc(m.ids.collisions);
+                    }
                     emit_to(
                         trace,
                         TraceRecord::Collision {
@@ -692,8 +766,9 @@ impl<M: Clone + std::fmt::Debug> Phy<M> {
             transmitting,
             busy_count,
             trace,
+            metrics,
             ..
         } = self;
-        update_meter_at(meters, up, transmitting, busy_count, trace, i, now);
+        update_meter_at(meters, up, transmitting, busy_count, trace, metrics, i, now);
     }
 }

@@ -179,6 +179,15 @@ impl<M: Clone + std::fmt::Debug, T: Clone + std::fmt::Debug> Ctx<'_, M, T> {
         self.core.trace_enabled()
     }
 
+    /// The run's metrics registry, if one is installed — protocols record
+    /// against ids they registered before engine construction (see
+    /// [`Network::install_metrics`](crate::Network::install_metrics)).
+    /// Recording is an array index plus an integer add; the `None` case is
+    /// a single branch.
+    pub fn metrics(&mut self) -> Option<&mut wsn_metrics::MetricsRegistry> {
+        self.core.phy.metrics.as_deref_mut().map(|m| &mut m.reg)
+    }
+
     /// Emits one protocol-level trace record (a no-op without a sink).
     pub fn trace(&mut self, rec: wsn_trace::TraceRecord) {
         self.core.emit(rec);

@@ -1,13 +1,13 @@
 #!/usr/bin/env bash
 # Perf baseline: run a small fixed sweep with per-job NDJSON --progress
 # lines, time the 10k-node scale path (grid topology build + a short
-# 10k-node sim), and join everything into BENCH_PR6.json so later PRs
+# 10k-node sim), and join everything into BENCH_PR7.json so later PRs
 # have a recorded reference point to diff against. bash + grep/sed only —
 # no jq.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR6.json}"
+out="${1:-BENCH_PR7.json}"
 progress_log="$(mktemp)"
 scale_log="$(mktemp)"
 trap 'rm -f "$progress_log" "$scale_log" "$out.tmp"' EXIT

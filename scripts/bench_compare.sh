@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
-# Perf regression gate for PR 6 (spatial-grid topology + SoA engine
-# state): re-run the baseline sweep, measure the dispatch profiler's
-# wall-clock overhead, run the hot-path and 10k-scale microbenchmarks,
-# and join everything into BENCH_PR6.json (per-job best-of-N over
-# BENCH_REPS repetitions, default 5; the jobs arrays record every rep).
-# Exits 1 if mean events/sec regressed more than 10% against the recorded
-# BENCH_PR5.json, if any recorded hot-path microbenchmark median got more
-# than 10% slower, or if the 10k-node topology build exceeds its 100 ms
-# absolute ceiling (the PR 6 acceptance bar). Events/sec is
+# Perf regression gate for PR 7 (in-sim metrics registry + layered
+# instrumentation): re-run the baseline sweep, measure the dispatch
+# profiler's wall-clock overhead AND the metrics registry's events/sec
+# overhead, run the hot-path and 10k-scale microbenchmarks, and join
+# everything into BENCH_PR7.json (per-job best-of-N over BENCH_REPS
+# repetitions, default 5; the jobs arrays record every rep). Exits 1 if
+# mean events/sec regressed more than 10% against the recorded
+# BENCH_PR6.json, if any recorded hot-path microbenchmark median got more
+# than 10% slower, if the 10k-node topology build exceeds its 100 ms
+# absolute ceiling, or if enabling `--metrics` costs more than 5% mean
+# events/sec (the PR 7 acceptance bar). Events/sec is
 # machine-state-dependent, so a missed gate first re-measures, then
 # recalibrates: it rebuilds the commit that recorded the reference
 # artifact and measures it on this machine, comparing like with like.
@@ -15,8 +17,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR6.json}"
-baseline_ref="BENCH_PR5.json"
+out="${1:-BENCH_PR7.json}"
+baseline_ref="BENCH_PR6.json"
 reps="${BENCH_REPS:-5}"
 base_log="$(mktemp)"
 prof_log="$(mktemp)"
@@ -76,16 +78,24 @@ done
 
 over_base_log="$(mktemp)"
 over_prof_log="$(mktemp)"
-trap 'rm -f "$base_log" "$prof_log" "$try_log" "$over_base_log" "$over_prof_log" "$out.tmp"' EXIT
-# The overhead difference is a few percent of wall time — smaller than
-# single-rep noise — so it gets a deeper rep count than the gate sweep.
+over_metrics_log="$(mktemp)"
+metrics_dir="$(mktemp -d)"
+trap 'rm -f "$base_log" "$prof_log" "$try_log" "$over_base_log" \
+    "$over_prof_log" "$over_metrics_log" "$out.tmp"; rm -rf "$metrics_dir"' EXIT
+# The overhead differences are a few percent of wall time — smaller than
+# single-rep noise — so they get a deeper rep count than the gate sweep.
+# Metrics runs sit between the plain and profiled runs of each rep so CPU
+# drift hits all three modes equally; the snapshot files land in a scratch
+# dir (byte-identical across reps, so overwriting is harmless).
 over_reps="${BENCH_OVER_REPS:-$((reps + 3))}"
 for i in $(seq "$over_reps"); do
     if [ $((i % 2)) -eq 1 ]; then
         one_sweep "$over_base_log" "${over_sweep[@]}"
+        one_sweep "$over_metrics_log" "${over_sweep[@]}" --metrics "$metrics_dir"
         one_sweep "$over_prof_log" "${over_sweep[@]}" --profile
     else
         one_sweep "$over_prof_log" "${over_sweep[@]}" --profile
+        one_sweep "$over_metrics_log" "${over_sweep[@]}" --metrics "$metrics_dir"
         one_sweep "$over_base_log" "${over_sweep[@]}"
     fi
 done
@@ -136,6 +146,26 @@ prof_wall="$(wall_sum "$over_prof_log")"
 overhead_pct="$(awk -v b="$base_wall" -v p="$prof_wall" \
     'BEGIN {printf "%.1f", (p - b) * 100.0 / b}')"
 
+# PR 7 acceptance bar: the metrics registry must cost at most 5% mean
+# events/sec on the overhead sweep. Noise spikes re-measure once (both
+# modes, keeping the interleave) before declaring a real miss.
+metrics_gate() { # metrics_gate BASE_EPS METRICS_EPS — 0 inside the budget
+    awk -v b="$1" -v m="$2" 'BEGIN {exit !(m >= b * 0.95)}'
+}
+over_eps_base="$(eps_mean "$over_base_log")"
+over_eps_metrics="$(eps_mean "$over_metrics_log")"
+if ! metrics_gate "$over_eps_base" "$over_eps_metrics"; then
+    echo "metrics overhead gate missed; re-measuring before failing..."
+    for _ in $(seq "$over_reps"); do
+        one_sweep "$over_metrics_log" "${over_sweep[@]}" --metrics "$metrics_dir"
+        one_sweep "$over_base_log" "${over_sweep[@]}"
+    done
+    over_eps_base="$(eps_mean "$over_base_log")"
+    over_eps_metrics="$(eps_mean "$over_metrics_log")"
+fi
+metrics_overhead_pct="$(awk -v b="$over_eps_base" -v m="$over_eps_metrics" \
+    'BEGIN {printf "%.1f", (b - m) * 100.0 / b}')"
+
 {
     printf '{"bench":"fig8 --quick --fields 2 --duration 30 --jobs 1",\n'
     printf ' "reps":%s,\n' "$reps"
@@ -144,6 +174,9 @@ overhead_pct="$(awk -v b="$base_wall" -v p="$prof_wall" \
     printf ' "wall_ms_total":%s,\n' "$base_wall"
     printf ' "profiled_wall_ms_total":%s,\n' "$prof_wall"
     printf ' "profiler_overhead_pct":%s,\n' "$overhead_pct"
+    printf ' "metrics_events_per_sec_mean":%s,\n' "$over_eps_metrics"
+    printf ' "metrics_off_events_per_sec_mean":%s,\n' "$over_eps_base"
+    printf ' "metrics_overhead_pct":%s,\n' "$metrics_overhead_pct"
     printf ' "micro_reps":%s,\n' "$micro_reps"
     printf ' "micro_median_ns":{'
     sep=''
@@ -157,10 +190,23 @@ overhead_pct="$(awk -v b="$base_wall" -v p="$prof_wall" \
     printf ' ],\n'
     printf ' "profiled_jobs":[\n'
     grep '^{"job"' "$prof_log" | sed 's/^/  /;$!s/$/,/'
+    printf ' ],\n'
+    printf ' "metrics_jobs":[\n'
+    grep '^{"job"' "$over_metrics_log" | sed 's/^/  /;$!s/$/,/'
     printf ' ]}\n'
 } >"$out.tmp"
 mv "$out.tmp" "$out"
-echo "wrote $out ($jobs_n job records, profiler overhead ${overhead_pct}% wall)"
+echo "wrote $out ($jobs_n job records, profiler overhead ${overhead_pct}% wall," \
+     "metrics overhead ${metrics_overhead_pct}% events/sec)"
+
+if metrics_gate "$over_eps_base" "$over_eps_metrics"; then
+    echo "OK: metrics-on overhead ${metrics_overhead_pct}% events/sec" \
+         "(${over_eps_metrics} vs ${over_eps_base}, <= 5% ceiling)"
+else
+    echo "FAIL: metrics-on overhead ${metrics_overhead_pct}% events/sec" \
+         "exceeds the 5% ceiling (${over_eps_metrics} vs ${over_eps_base})"
+    exit 1
+fi
 
 gate() { # gate EPS REF — 0 inside the 10% budget, 1 regressed
     awk -v now="$1" -v ref="$2" 'BEGIN {exit !(now >= ref * 0.9)}'

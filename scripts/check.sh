@@ -40,6 +40,23 @@ audit="$(cargo run --release -p wsn-bench --bin trace_audit -- "$tracedir/a")"
 echo "$audit" | tail -1
 echo "$audit" | grep -q ", 0 violation(s)"
 
+echo "==> metrics smoke: snapshot stream reduces and audits clean vs trace"
+# One sweep with both artifacts attached: metrics_report must render
+# non-empty per-layer tables, and --audit must reconcile every registry
+# total against the paired trace with zero tolerance (exit 1 otherwise).
+metricsdir="$(mktemp -d)"
+trap 'rm -rf "$tracedir" "$metricsdir"' EXIT
+cargo run --release -p wsn-bench --bin fig8 -- \
+    --quick --fields 2 --duration 30 --no-csv \
+    --metrics "$metricsdir" --trace "$tracedir/m" >/dev/null
+ls "$metricsdir"/*.metrics.jsonl >/dev/null  # at least one stream written
+mreport="$(cargo run --release -p wsn-bench --bin metrics_report -- \
+    "$metricsdir" --audit "$tracedir/m")"
+echo "$mreport" | tail -1
+echo "$mreport" | grep -q "phy.frames_tx{kind=data}"   # non-empty tables
+echo "$mreport" | grep -q "diffusion.agg_fanin"
+echo "$mreport" | tail -1 | grep -q ", 0 violation(s)" # audit-clean
+
 echo "==> scale smoke: 10k-node field + capped sim (run_one --scale 50)"
 # Density-preserving scale-up: 200 nodes x50 in a 1414 m square. Builds
 # the field through the spatial grid and runs a short watchdog-capped sim

@@ -1,0 +1,256 @@
+//! The exact-reconciliation contract between the in-sim metrics registry
+//! and the telemetry trace: every registry total is incremented beside the
+//! matching trace-emission site (unconditionally, not gated on the sink),
+//! so on a run with both attached the registry totals must equal the
+//! trace-derived totals with **zero tolerance** — frames by kind, drops by
+//! reason, collisions, item drops, reinforcements, aggregation fan-in, and
+//! per-state energy in quantized nanojoules.
+//!
+//! Also pins the flight recorder's post-mortem: a run killed by the event
+//! budget watchdog dumps its last-N snapshot ring into the metrics sink.
+
+use std::cell::RefCell;
+use std::io::Write;
+use std::rc::Rc;
+
+use wsn::core::{Experiment, MetricsSetup};
+use wsn::diffusion::Scheme;
+use wsn::metrics::joules_to_nj;
+use wsn::net::TraceOptions;
+use wsn::scenario::{FailureConfig, ScenarioSpec};
+use wsn::sim::SimDuration;
+use wsn::trace::{DropReason, JsonlSink, SharedSink, ENERGY_STATES};
+
+/// Frame-kind labels in `phy.frames_tx{kind=..}` registration order.
+const FRAME_KINDS: [&str; 4] = ["data", "ack", "rts", "cts"];
+
+/// Totals recomputed from a trace, in the units the registry counts them.
+#[derive(Default)]
+struct TraceTotals {
+    tx_by_kind: [u64; 4],
+    rx: u64,
+    collisions: u64,
+    drops: [u64; 6],
+    item_drops: [u64; 6],
+    energy_nj: [u64; 4],
+    reinforcements: u64,
+    tree_edges: u64,
+    agg_count: u64,
+    agg_inputs_sum: u64,
+}
+
+fn reason_slot(name: &str) -> usize {
+    let reason = DropReason::parse(name).expect("known drop reason");
+    DropReason::ALL
+        .iter()
+        .position(|&r| r == reason)
+        .expect("reason in ALL")
+}
+
+fn trace_totals(text: &str) -> TraceTotals {
+    let mut t = TraceTotals::default();
+    for line in text.lines() {
+        let p = wsn::trace::parse_line(line).expect("trace lines parse");
+        match p.tag().unwrap_or("") {
+            "tx" => {
+                let kind = p.str_field("kind").expect("tx has a kind");
+                let slot = FRAME_KINDS
+                    .iter()
+                    .position(|&k| k == kind)
+                    .expect("known frame kind");
+                t.tx_by_kind[slot] += 1;
+            }
+            "rx" => t.rx += 1,
+            "collision" => t.collisions += 1,
+            "drop" => t.drops[reason_slot(p.str_field("reason").expect("reason"))] += 1,
+            "item_drop" => {
+                t.item_drops[reason_slot(p.str_field("reason").expect("reason"))] += 1;
+            }
+            "energy" => {
+                let state = p.str_field("state").expect("energy has a state");
+                let slot = ENERGY_STATES
+                    .iter()
+                    .position(|&s| s == state)
+                    .expect("known radio state");
+                // Quantize per debit, exactly as the registry records it —
+                // summing the floats first would drift.
+                t.energy_nj[slot] += joules_to_nj(p.f64_field("joules").expect("joules"));
+            }
+            "reinforce" => t.reinforcements += 1,
+            "tree_edge" => t.tree_edges += 1,
+            "agg_merge" => {
+                t.agg_count += 1;
+                t.agg_inputs_sum += p.u64_field("inputs").expect("inputs");
+            }
+            _ => {}
+        }
+    }
+    t
+}
+
+/// Runs `spec` with both a trace and metrics attached; returns the final
+/// registry and the trace text.
+fn observed_run(spec: ScenarioSpec, scheme: Scheme) -> (wsn::metrics::MetricsRegistry, String) {
+    let exp = Experiment::new(spec, scheme);
+    let sink = Rc::new(RefCell::new(JsonlSink::new(Vec::new())));
+    let handle: SharedSink = sink.clone();
+    let (_, reg) = exp
+        .run_budgeted_observed(
+            u64::MAX,
+            Some((handle, TraceOptions::default())),
+            None,
+            Some(MetricsSetup::in_memory()),
+        )
+        .expect("u64::MAX budget cannot trip");
+    let reg = reg.expect("metrics were requested");
+    let sink = Rc::try_unwrap(sink)
+        .expect("the engine must release its sink handle at run end")
+        .into_inner();
+    let bytes = sink.into_inner().expect("Vec writer cannot fail");
+    (
+        reg,
+        String::from_utf8(bytes).expect("traces are ASCII JSON"),
+    )
+}
+
+/// Asserts every reconcilable registry total equals the trace total.
+fn assert_reconciles(reg: &wsn::metrics::MetricsRegistry, t: &TraceTotals) {
+    let counter = |name: &str| {
+        reg.counter_by_name(name)
+            .unwrap_or_else(|| panic!("registered counter {name}"))
+    };
+    for (slot, kind) in FRAME_KINDS.iter().enumerate() {
+        assert_eq!(
+            counter(&format!("phy.frames_tx{{kind={kind}}}")),
+            t.tx_by_kind[slot],
+            "frames_tx{{kind={kind}}}"
+        );
+    }
+    assert_eq!(counter("phy.frames_rx"), t.rx, "frames_rx");
+    assert_eq!(counter("phy.collisions"), t.collisions, "collisions");
+    for (slot, reason) in DropReason::ALL.iter().enumerate() {
+        assert_eq!(
+            counter(&format!("phy.drops{{reason={}}}", reason.name())),
+            t.drops[slot],
+            "drops{{{}}}",
+            reason.name()
+        );
+        assert_eq!(
+            counter(&format!("diffusion.item_drops{{reason={}}}", reason.name())),
+            t.item_drops[slot],
+            "item_drops{{{}}}",
+            reason.name()
+        );
+    }
+    for (slot, state) in ENERGY_STATES.iter().enumerate() {
+        assert_eq!(
+            counter(&format!("phy.energy_nj{{state={state}}}")),
+            t.energy_nj[slot],
+            "energy_nj{{state={state}}}"
+        );
+    }
+    assert_eq!(
+        counter("diffusion.reinforcements"),
+        t.reinforcements,
+        "reinforcements"
+    );
+    assert_eq!(
+        counter("diffusion.tree_edges_added"),
+        t.tree_edges,
+        "tree_edges_added"
+    );
+    let fanin = reg
+        .hist_by_name("diffusion.agg_fanin")
+        .expect("registered histogram");
+    assert_eq!(fanin.count(), t.agg_count, "agg_fanin count");
+    assert_eq!(fanin.sum(), t.agg_inputs_sum, "agg_fanin sum");
+}
+
+#[test]
+fn registry_totals_reconcile_exactly_with_the_trace_greedy() {
+    let mut spec = ScenarioSpec::paper(60, 7);
+    spec.duration = SimDuration::from_secs(60);
+    let (reg, text) = observed_run(spec, Scheme::Greedy);
+    let t = trace_totals(&text);
+    assert!(t.tx_by_kind[0] > 0, "a 60 s run transmits data frames");
+    assert!(t.energy_nj[1] > 0, "idle energy is always debited");
+    assert_reconciles(&reg, &t);
+}
+
+#[test]
+fn registry_totals_reconcile_exactly_with_the_trace_opportunistic() {
+    let mut spec = ScenarioSpec::paper(60, 7);
+    spec.duration = SimDuration::from_secs(60);
+    let (reg, text) = observed_run(spec, Scheme::Opportunistic);
+    let t = trace_totals(&text);
+    assert!(t.agg_count > 0, "opportunistic runs merge at junctions");
+    assert_reconciles(&reg, &t);
+}
+
+#[test]
+fn reconciliation_holds_under_node_failures() {
+    // Failures exercise the NodeDown drop path and off-state meters.
+    let mut spec = ScenarioSpec::paper(50, 11);
+    spec.duration = SimDuration::from_secs(60);
+    spec.failures = Some(FailureConfig::default());
+    let (reg, text) = observed_run(spec, Scheme::Greedy);
+    let t = trace_totals(&text);
+    assert_reconciles(&reg, &t);
+}
+
+/// A `Box<dyn Write>` sink the test can read back after the run.
+struct SharedBuf(Rc<RefCell<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+        self.0.borrow_mut().extend_from_slice(b);
+        Ok(b.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn flight_recorder_dumps_the_ring_on_budget_exhaustion() {
+    let mut spec = ScenarioSpec::paper(50, 3);
+    spec.duration = SimDuration::from_secs(120);
+    let exp = Experiment::new(spec, Scheme::Greedy);
+    let buf = Rc::new(RefCell::new(Vec::new()));
+    let setup = MetricsSetup {
+        // A 1 s cadence guarantees several ring entries before the trip.
+        opts: wsn::net::MetricsOptions {
+            snapshot_every: Some(SimDuration::from_secs(1)),
+            flight_slots: 8,
+        },
+        out: Some(Box::new(SharedBuf(Rc::clone(&buf)))),
+    };
+    let err = exp
+        .run_budgeted_observed(10_000, None, None, Some(setup))
+        .expect_err("10k events cannot cover a 120 s, 50-node run");
+    assert!(err.to_string().contains("budget"), "err: {err}");
+    let text = String::from_utf8(buf.borrow().clone()).expect("metrics are ASCII JSON");
+    assert!(
+        text.starts_with("{\"ev\":\"mreg\""),
+        "stream begins with the header: {}",
+        &text[..text.len().min(120)]
+    );
+    let dump_at = text
+        .find("\"ev\":\"mflight\"")
+        .expect("watchdog trip dumps the flight ring");
+    assert_eq!(
+        text.matches("\"ev\":\"mflight\"").count(),
+        1,
+        "the dump happens exactly once"
+    );
+    // The dump replays recent mdelta lines *after* the marker, and the
+    // stream still closes with the absolute totals for post-mortem reading.
+    assert!(
+        text[dump_at..].contains("\"ev\":\"mdelta\""),
+        "the dump replays ring entries"
+    );
+    assert!(
+        text[dump_at..].contains("\"ev\":\"mtotal\""),
+        "the error path still writes final totals"
+    );
+}

@@ -140,6 +140,7 @@ fn collect_points_surfaces_the_first_error_in_job_order() {
         progress: false,
         trace: None,
         profile: false,
+        metrics: None,
     };
     let err = collect_points(&runner, &xs, &jobs).expect_err("budget of 10 must trip");
     assert_eq!(err.point_index, 0);

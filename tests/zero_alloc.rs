@@ -16,7 +16,10 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use wsn::net::{Ctx, NetConfig, Network, Packet, Position, Protocol, Topology};
+use wsn::metrics::MetricsRegistry;
+use wsn::net::{
+    Ctx, MetricsOptions, NetConfig, NetMetricIds, Network, Packet, Position, Protocol, Topology,
+};
 use wsn::sim::{EventQueue, SimDuration, SimTime};
 
 /// The system allocator with an allocation counter bolted on. Frees are not
@@ -192,6 +195,37 @@ fn main() {
         allocated, sent,
         "broadcast path must allocate exactly the one packet Rc per send \
          ({sent} sends, {dispatched} events)"
+    );
+
+    // ---- Phase 4: the broadcast path with the metrics registry installed
+    // still allocates exactly once per packet. Recording is an array index
+    // plus an integer add; snapshot encoding reuses its scratch line and
+    // the flight ring reuses its 32 slots once each holds a line from the
+    // steady digit era (`t_ns` gains a digit at t=100 s, stretching every
+    // delta line by one byte) — so warm through two full ring revolutions
+    // (2 × 32 × 10 s cadence) before measuring. ----
+    let mut net = Network::new(grid_topology(), NetConfig::default(), 11, |_| {
+        BroadcastStorm { sent: 0 }
+    });
+    let mut reg = MetricsRegistry::new();
+    let ids = NetMetricIds::register(&mut reg, NetConfig::default().mac);
+    net.install_metrics(
+        reg,
+        ids,
+        MetricsOptions::default(),
+        Some(Box::new(std::io::sink())),
+    );
+    net.run_until(SimTime::from_secs(660));
+    let warm_sent = total_sent(&net);
+    let baseline = allocs();
+    net.run_until(SimTime::from_secs(720));
+    let sent = total_sent(&net) - warm_sent;
+    let allocated = allocs() - baseline;
+    assert!(sent > 5_000, "metrics storm run too small: {sent} packets");
+    assert_eq!(
+        allocated, sent,
+        "metrics recording/snapshots must not allocate in steady state \
+         ({sent} sends)"
     );
 
     println!("zero_alloc: all steady-state allocation invariants hold");
